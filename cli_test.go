@@ -1,0 +1,92 @@
+package nwsenv
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the four command-line tools and runs the full
+// file-based workflow of the README: generate the ENS-Lyon topology, map
+// it with ENV, derive and validate the plan, and run the monitoring
+// system with a composed query.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	topogen := build("topogen")
+	envmap := build("envmap")
+	nwsdeploy := build("nwsdeploy")
+	nwsmanager := build("nwsmanager")
+
+	dir := t.TempDir()
+	topoFile := filepath.Join(dir, "enslyon.json")
+	mapping := filepath.Join(dir, "mapping.xml")
+	plan := filepath.Join(dir, "plan.json")
+
+	run := func(name string, args ...string) string {
+		cmd := exec.Command(name, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(name), args, err, out)
+		}
+		return string(out)
+	}
+
+	run(topogen, "-kind", "enslyon", "-o", topoFile)
+	if _, err := os.Stat(topoFile); err != nil {
+		t.Fatal(err)
+	}
+
+	out := run(envmap, "-topo", topoFile, "-tree", "-o", mapping)
+	for _, frag := range []string{"routlhpc", "switched", "effective networks"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("envmap output misses %q:\n%s", frag, out)
+		}
+	}
+	data, err := os.ReadFile(mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ENV_base_BW") {
+		t.Fatal("mapping file lacks ENV properties")
+	}
+
+	out = run(nwsdeploy, "-gridml", mapping, "-master", "the-doors.ens-lyon.fr",
+		"-topo", topoFile, "-o", plan)
+	if !strings.Contains(out, "complete=true") {
+		t.Fatalf("nwsdeploy did not validate complete:\n%s", out)
+	}
+
+	out = run(nwsmanager, "-topo", topoFile, "-plan", plan, "-gridml", mapping,
+		"-duration", "2m", "-query", "moby.cri2000.ens-lyon.fr,sci3.popc.private")
+	if !strings.Contains(out, "estimate moby.cri2000.ens-lyon.fr -> sci3.popc.private") {
+		t.Fatalf("nwsmanager query missing:\n%s", out)
+	}
+	// The composed estimate must find the 10 Mbps bottleneck.
+	if !strings.Contains(out, "10.00 Mbps") {
+		t.Fatalf("estimate did not hit the bottleneck:\n%s", out)
+	}
+	if !strings.Contains(out, "composed via") {
+		t.Fatalf("estimate should be composed:\n%s", out)
+	}
+
+	// Pairwise mode variant runs too.
+	out = run(nwsmanager, "-topo", topoFile, "-plan", plan, "-gridml", mapping,
+		"-duration", "1m", "-pairwise")
+	if !strings.Contains(out, "monitored") {
+		t.Fatalf("pairwise run failed:\n%s", out)
+	}
+}

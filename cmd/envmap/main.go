@@ -1,0 +1,200 @@
+// Command envmap runs the ENV mapper over a simulated topology and
+// prints the resulting GridML (and, with -tree, the structural and
+// effective views).
+//
+//	topogen -kind enslyon -o enslyon.json
+//	envmap -topo enslyon.json -tree -o mapping.xml
+//
+// With -topo pointing at a spec that carries Masters/NamesOf metadata
+// (the enslyon kind does), envmap runs one mapping per master and merges
+// them; otherwise give -master (and optionally -hosts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nwsenv/internal/env"
+	"nwsenv/internal/gridml"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/topo"
+	"nwsenv/internal/vclock"
+)
+
+func main() {
+	topoFile := flag.String("topo", "", "topology spec file (required)")
+	master := flag.String("master", "", "mapping master (node ID); overrides spec metadata")
+	hostsCSV := flag.String("hosts", "", "comma-separated node IDs to map (default: all hosts)")
+	tree := flag.Bool("tree", false, "print the structural tree and network list")
+	strict := flag.Bool("strict-paper", false, "classify exactly as §4.2.2.4 (no bottleneck fallback)")
+	bidi := flag.Bool("bidirectional", false, "also measure host→master bandwidth (detects asymmetric routes, §4.3 future work)")
+	out := flag.String("o", "", "GridML output file (default stdout)")
+	flag.Parse()
+
+	if *topoFile == "" {
+		fmt.Fprintln(os.Stderr, "envmap: -topo is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*topoFile)
+	check(err)
+	spec, err := topo.DecodeSpec(data)
+	check(err)
+	tp, err := spec.Build()
+	check(err)
+
+	sim := vclock.New()
+	net := simnet.NewNetwork(sim, tp)
+
+	var runs []env.Config
+	switch {
+	case *master != "":
+		runs = []env.Config{{Master: *master, Hosts: pickHosts(tp, *hostsCSV), StrictPaper: *strict, Bidirectional: *bidi}}
+	case len(spec.Masters) > 0:
+		for _, m := range spec.Masters {
+			names := spec.NamesOf[m]
+			var hosts []string
+			for id := range names {
+				hosts = append(hosts, id)
+			}
+			if len(hosts) == 0 {
+				hosts = pickHosts(tp, "")
+			}
+			runs = append(runs, env.Config{Master: m, Hosts: sortIDs(hosts, m), Names: names, StrictPaper: *strict, Bidirectional: *bidi})
+		}
+	default:
+		hosts := pickHosts(tp, *hostsCSV)
+		runs = []env.Config{{Master: hosts[0], Hosts: hosts, StrictPaper: *strict, Bidirectional: *bidi}}
+	}
+
+	var results []*env.Result
+	var mapErr error
+	sim.Go("envmap", func() {
+		for _, cfg := range runs {
+			res, err := env.NewMapper(net, cfg).Run()
+			if err != nil {
+				mapErr = err
+				return
+			}
+			results = append(results, res)
+		}
+	})
+	check(sim.RunUntil(240 * time.Hour))
+	check(mapErr)
+
+	var merged *env.Merged
+	if len(results) == 1 {
+		merged = env.Single(results[0])
+	} else {
+		aliases := guessAliases(results)
+		merged, err = env.Merge("Grid1", results[0], results[1], aliases)
+		check(err)
+	}
+
+	if *tree {
+		for i, res := range results {
+			fmt.Fprintf(os.Stderr, "== structural tree (master %s) ==\n", runs[i].Master)
+			printTree(res.Struct, 0)
+		}
+		fmt.Fprintln(os.Stderr, "== effective networks ==")
+		for _, nw := range merged.Networks {
+			asym := ""
+			if nw.Asymmetric(env.DefaultThresholds().BWRatio) {
+				asym = fmt.Sprintf(" ASYMMETRIC(rev %.2f)", nw.ReverseBW)
+			}
+			fmt.Fprintf(os.Stderr, "  %-20s %-8s base %7.2f Mbps local %7.2f Mbps  %s%s\n",
+				nw.Label, nw.Class, nw.BaseBW, nw.LocalBW, strings.Join(nw.Hosts, ", "), asym)
+		}
+		fmt.Fprintf(os.Stderr, "mapping cost: %d probes, %.1f MB, %v of virtual time\n",
+			merged.Stats.Probes, float64(merged.Stats.ProbeBytes)/1e6, merged.Stats.Duration())
+	}
+
+	enc, err := merged.Doc.Encode()
+	check(err)
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	check(os.WriteFile(*out, enc, 0o644))
+}
+
+func pickHosts(tp *simnet.Topology, csv string) []string {
+	if csv != "" {
+		return strings.Split(csv, ",")
+	}
+	var hosts []string
+	for _, h := range tp.HostIDs() {
+		if h != tp.ExternalTarget {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+func sortIDs(hosts []string, master string) []string {
+	out := []string{master}
+	var rest []string
+	for _, h := range hosts {
+		if h != master {
+			rest = append(rest, h)
+		}
+	}
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0 && rest[j] < rest[j-1]; j-- {
+			rest[j], rest[j-1] = rest[j-1], rest[j]
+		}
+	}
+	return append(out, rest...)
+}
+
+// guessAliases identifies gateways: machines appearing in both runs'
+// documents under different names but the same node (matched by IP).
+func guessAliases(results []*env.Result) []gridml.GatewayAlias {
+	if len(results) < 2 {
+		return nil
+	}
+	byIP := map[string]string{}
+	for _, s := range results[0].Doc.Sites {
+		for _, m := range s.Machines {
+			if m.Label != nil {
+				byIP[m.Label.IP] = m.CanonicalName()
+			}
+		}
+	}
+	var out []gridml.GatewayAlias
+	for _, s := range results[1].Doc.Sites {
+		for _, m := range s.Machines {
+			if m.Label == nil {
+				continue
+			}
+			if outName, ok := byIP[m.Label.IP]; ok && outName != m.CanonicalName() {
+				out = append(out, gridml.GatewayAlias{Outside: outName, Inside: m.CanonicalName()})
+			}
+		}
+	}
+	return out
+}
+
+func printTree(n *env.StructNode, depth int) {
+	label := n.Hop
+	if label == "" {
+		label = "(root)"
+	}
+	fmt.Fprintf(os.Stderr, "%s%s", strings.Repeat("  ", depth+1), label)
+	if len(n.Hosts) > 0 {
+		fmt.Fprintf(os.Stderr, "  <- %s", strings.Join(n.Hosts, ", "))
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, c := range n.Children {
+		printTree(c, depth+1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envmap:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command nwsdeploy computes an NWS deployment plan from a GridML
+// mapping file (as produced by envmap), validates it when the topology
+// is available, and writes the shared configuration file the managers
+// consume (§5.2).
+//
+//	nwsdeploy -gridml mapping.xml -master the-doors.ens-lyon.fr -o plan.json
+//	nwsdeploy -gridml mapping.xml -topo enslyon.json   # also validates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwsenv/internal/deploy"
+	"nwsenv/internal/env"
+	"nwsenv/internal/gridml"
+	"nwsenv/internal/topo"
+)
+
+func main() {
+	gridmlFile := flag.String("gridml", "", "GridML mapping file (required)")
+	master := flag.String("master", "", "master machine (canonical name; default first)")
+	topoFile := flag.String("topo", "", "topology spec for §2.3 validation (optional)")
+	out := flag.String("o", "", "plan output file (default stdout)")
+	flag.Parse()
+
+	if *gridmlFile == "" {
+		fmt.Fprintln(os.Stderr, "nwsdeploy: -gridml is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*gridmlFile)
+	check(err)
+	doc, err := gridml.Decode(data)
+	check(err)
+	check(doc.Validate())
+
+	merged := env.MergedFromGridML(doc)
+	plan, err := deploy.NewPlan(merged, deploy.PlanConfig{Master: *master})
+	check(err)
+
+	fmt.Fprint(os.Stderr, plan.Summary())
+
+	if *topoFile != "" {
+		tdata, err := os.ReadFile(*topoFile)
+		check(err)
+		spec, err := topo.DecodeSpec(tdata)
+		check(err)
+		tp, err := spec.Build()
+		check(err)
+		resolve := resolveNames(doc, spec)
+		v, err := deploy.Validate(plan, tp, resolve)
+		check(err)
+		fmt.Fprintf(os.Stderr, "validation: complete=%v directPairs=%d/%d maxClique=%d collisionRisks=%d\n",
+			v.Complete, v.DirectPairs, v.TotalPairs, v.MaxCliqueSize, len(v.CollisionRisks))
+		if !v.Complete {
+			fmt.Fprintf(os.Stderr, "missing pairs: %v\n", v.MissingPairs)
+			os.Exit(1)
+		}
+	}
+
+	enc, err := deploy.EncodeConfig(plan)
+	check(err)
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	check(os.WriteFile(*out, enc, 0o644))
+}
+
+// resolveNames maps canonical machine names to node IDs using the spec's
+// per-run name tables and node DNS entries.
+func resolveNames(doc *gridml.Document, spec *topo.Spec) map[string]string {
+	resolve := map[string]string{}
+	record := func(id, name string) {
+		if m := doc.FindMachine(name); m != nil {
+			resolve[m.CanonicalName()] = id
+		}
+	}
+	for _, names := range spec.NamesOf {
+		for id, name := range names {
+			record(id, name)
+		}
+	}
+	for _, n := range spec.Nodes {
+		if n.Kind == "host" {
+			if n.DNS != "" {
+				record(n.ID, n.DNS)
+			}
+			record(n.ID, n.ID)
+		}
+	}
+	return resolve
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwsdeploy:", err)
+		os.Exit(1)
+	}
+}

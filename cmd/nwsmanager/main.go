@@ -1,0 +1,156 @@
+// Command nwsmanager applies a deployment plan on a simulated topology,
+// runs the monitoring system for a while in virtual time, and reports
+// what it measured: the runtime counterpart of §5.2.
+//
+//	nwsmanager -topo enslyon.json -plan plan.json -duration 5m
+//	nwsmanager -topo enslyon.json -plan plan.json -query moby.cri2000.ens-lyon.fr,sci3.popc.private
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nwsenv/internal/deploy"
+	"nwsenv/internal/gridml"
+	"nwsenv/internal/metrics"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/topo"
+	"nwsenv/internal/vclock"
+)
+
+func main() {
+	topoFile := flag.String("topo", "", "topology spec file (required)")
+	planFile := flag.String("plan", "", "plan/config file from nwsdeploy (required)")
+	gridmlFile := flag.String("gridml", "", "GridML file for name resolution (optional)")
+	duration := flag.Duration("duration", 5*time.Minute, "virtual monitoring duration")
+	query := flag.String("query", "", "host pair to estimate afterwards: from,to")
+	pairwise := flag.Bool("pairwise", false, "drive switched cliques with the pairwise scheduler (§6 relaxation)")
+	flag.Parse()
+
+	if *topoFile == "" || *planFile == "" {
+		fmt.Fprintln(os.Stderr, "nwsmanager: -topo and -plan are required")
+		os.Exit(2)
+	}
+	tdata, err := os.ReadFile(*topoFile)
+	check(err)
+	spec, err := topo.DecodeSpec(tdata)
+	check(err)
+	tp, err := spec.Build()
+	check(err)
+	pdata, err := os.ReadFile(*planFile)
+	check(err)
+	plan, err := deploy.DecodeConfig(pdata)
+	check(err)
+
+	resolve := map[string]string{}
+	var doc *gridml.Document
+	if *gridmlFile != "" {
+		gdata, err := os.ReadFile(*gridmlFile)
+		check(err)
+		doc, err = gridml.Decode(gdata)
+		check(err)
+	}
+	record := func(id, name string) {
+		canonical := name
+		if doc != nil {
+			if m := doc.FindMachine(name); m != nil {
+				canonical = m.CanonicalName()
+			}
+		}
+		if _, dup := resolve[canonical]; !dup {
+			resolve[canonical] = id
+		}
+	}
+	for _, names := range spec.NamesOf {
+		for id, name := range names {
+			record(id, name)
+		}
+	}
+	for _, n := range spec.Nodes {
+		if n.Kind == "host" {
+			if n.DNS != "" {
+				record(n.ID, n.DNS)
+			}
+			record(n.ID, n.ID)
+		}
+	}
+
+	sim := vclock.New()
+	net := simnet.NewNetwork(sim, tp)
+	tr := proto.NewSimTransport(net)
+	dep, err := deploy.Apply(tr, sensor.SimProber{Net: net}, plan, resolve, deploy.ApplyOptions{
+		TokenGap:         time.Second,
+		PairwiseSwitched: *pairwise,
+	})
+	check(err)
+
+	check(sim.RunUntil(*duration))
+
+	report := metrics.Observe(net, "", *duration)
+	fmt.Printf("monitored %v of virtual time\n", *duration)
+	fmt.Printf("  probes        : %d (%.1f MB injected)\n", report.Probes, float64(report.ProbeBytes)/1e6)
+	fmt.Printf("  collisions    : %d (rate %.4f)\n", report.Collisions, report.CollisionRate)
+	fmt.Printf("  pair frequency: min %.2f/min max %.2f/min over %d measured pairs\n",
+		report.MinPairPerMinute, report.MaxPairPerMinute, len(report.PairFrequency))
+
+	// Show the freshest bandwidth readings per pair.
+	type row struct {
+		pair string
+		bps  float64
+	}
+	var rows []row
+	last := map[string]simnet.TransferStats{}
+	for _, rec := range net.Records() {
+		if strings.HasPrefix(rec.Tag, "clique:") {
+			last[rec.Src+" -> "+rec.Dst] = rec
+		}
+	}
+	for pair, rec := range last {
+		rows = append(rows, row{pair, rec.AvgBps})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pair < rows[j].pair })
+	fmt.Println("  latest bandwidth readings:")
+	for _, r := range rows {
+		fmt.Printf("    %-30s %8.2f Mbps\n", r.pair, r.bps/1e6)
+	}
+
+	if *query != "" {
+		parts := strings.SplitN(*query, ",", 2)
+		if len(parts) != 2 {
+			check(fmt.Errorf("bad -query %q", *query))
+		}
+		var est deploy.LinkEstimate
+		var qerr error
+		sim.Go("query", func() {
+			master := dep.Agents[plan.Master]
+			if master == nil {
+				qerr = fmt.Errorf("master agent %q missing", plan.Master)
+				return
+			}
+			es := dep.Estimator(master.Station())
+			est, qerr = es.Estimate(parts[0], parts[1])
+		})
+		check(sim.RunUntil(*duration + time.Minute))
+		check(qerr)
+		kind := "composed via " + strings.Join(est.Via, ", ")
+		if est.Direct {
+			kind = "direct measurement"
+		}
+		fmt.Printf("estimate %s -> %s: %.2f Mbps, %.2f ms RTT (%s)\n",
+			parts[0], parts[1], est.BandwidthMbps, est.LatencyMS, kind)
+	}
+	dep.Stop()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwsmanager:", err)
+		os.Exit(1)
+	}
+}

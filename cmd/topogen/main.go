@@ -1,0 +1,56 @@
+// Command topogen generates topology spec files for the other tools.
+//
+//	topogen -kind enslyon                    > enslyon.json
+//	topogen -kind random -seed 7 -subnets 4 -hosts 5 > lan.json
+//	topogen -kind dumbbell -hosts 4 -mbps 10 > dumbbell.json
+//	topogen -kind twosite -hosts 4           > twosite.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/topo"
+)
+
+func main() {
+	kind := flag.String("kind", "enslyon", "topology kind: enslyon, random, dumbbell, twosite")
+	seed := flag.Int64("seed", 1, "random seed (kind=random)")
+	subnets := flag.Int("subnets", 4, "subnet count (kind=random)")
+	hosts := flag.Int("hosts", 4, "hosts per subnet / side")
+	mbps := flag.Float64("mbps", 10, "bottleneck capacity in Mbps (kind=dumbbell)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var spec *topo.Spec
+	switch *kind {
+	case "enslyon":
+		spec = topo.EnsLyonSpec()
+	case "random":
+		t, _ := topo.RandomLAN(*seed, *subnets, *hosts)
+		spec = topo.Export(t)
+	case "dumbbell":
+		spec = topo.Export(topo.Dumbbell(*hosts, *mbps*simnet.Mbps))
+	case "twosite":
+		spec = topo.Export(topo.TwoSite(*hosts, *hosts))
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	data, err := topo.EncodeSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package nwsenv reproduces "Automatic Deployment of the Network
+// Weather Service Using the Effective Network View" (Legrand & Quinson,
+// LIP RR-2003-42 / IPPS 2004 workshops) as a Go library: a discrete-event
+// network simulator standing in for the 2003 ENS-Lyon testbed, a complete
+// NWS implementation (name server, memory servers, sensors, forecaster
+// battery, token-ring measurement cliques), the ENV application-level
+// network mapper, and the automatic deployment planner that ties them
+// together.
+//
+// The entry point for the paper's pipeline is internal/core.AutoDeploy;
+// the benchmark harness in bench_test.go regenerates every figure and
+// quantitative claim of the paper (see EXPERIMENTS.md).
+package nwsenv

@@ -1,0 +1,61 @@
+// Forecaster demo: the NWS predictor battery (§2.1's statistical
+// forecasters) on four synthetic availability traces, showing how the
+// dynamically selected method tracks the best single predictor per
+// series.
+//
+//	go run ./examples/forecastdemo
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nwsenv/internal/nws/forecast"
+)
+
+type trace struct {
+	name string
+	gen  func(rng *rand.Rand, i int, prev float64) float64
+}
+
+func main() {
+	traces := []trace{
+		{"constant-92Mbps", func(_ *rand.Rand, _ int, _ float64) float64 { return 92 }},
+		{"white-noise", func(rng *rand.Rand, _ int, _ float64) float64 {
+			return 60 + rng.NormFloat64()*8
+		}},
+		{"random-walk", func(rng *rand.Rand, _ int, prev float64) float64 {
+			if prev == 0 {
+				prev = 50
+			}
+			return prev + rng.NormFloat64()
+		}},
+		{"diurnal+spikes", func(rng *rand.Rand, i int, _ float64) float64 {
+			v := 70 + 20*math.Sin(float64(i)/50)
+			if rng.Intn(25) == 0 {
+				v /= 4 // congestion spike
+			}
+			return v + rng.NormFloat64()*2
+		}},
+	}
+
+	fmt.Printf("%-16s %10s %10s %10s %12s\n", "trace", "batteryMAE", "lastMAE", "mean21MAE", "chosen")
+	for _, tr := range traces {
+		rng := rand.New(rand.NewSource(7))
+		b := forecast.NewBattery()
+		prev := 0.0
+		for i := 0; i < 3000; i++ {
+			v := tr.gen(rng, i, prev)
+			prev = v
+			b.Update(v)
+		}
+		p, _ := b.Forecast()
+		last, _ := b.MethodError("last")
+		mean21, _ := b.MethodError("mean21")
+		fmt.Printf("%-16s %10.3f %10.3f %10.3f %12s\n", tr.name, p.MAE, last, mean21, p.Method)
+	}
+
+	fmt.Println("\nThe battery's cumulative error always matches its best member —")
+	fmt.Println("the selection NWS uses to stay robust across series shapes.")
+}

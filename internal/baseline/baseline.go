@@ -1,0 +1,182 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation: deployments built without topology knowledge, and the
+// naive exhaustive mapping algorithm whose cost §4.3 estimates at about
+// 50 days for 20 hosts.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nwsenv/internal/deploy"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+// FullMesh builds the no-knowledge deployment: every host in one giant
+// clique. It is trivially collision-free and complete, but the token
+// ring serializes all n(n-1) experiments, so the per-pair measurement
+// frequency collapses (§2.3 "Scalability concerns").
+func FullMesh(hosts []string, master string, gap time.Duration) *deploy.Plan {
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	if master == "" {
+		master = sorted[0]
+	}
+	memoryOf := map[string]string{}
+	for _, h := range sorted {
+		memoryOf[h] = master
+	}
+	return &deploy.Plan{
+		Label:         "fullmesh-" + master,
+		Master:        master,
+		NameServer:    master,
+		Forecaster:    master,
+		MemoryServers: []string{master},
+		MemoryOf:      memoryOf,
+		Hosts:         sorted,
+		Cliques: []deploy.CliqueSpec{{
+			Name:    "all",
+			Members: sorted,
+			Period:  gap,
+		}},
+	}
+}
+
+// BlindPartition splits hosts into k cliques by name order, ignoring the
+// topology, then chains them with bridge cliques. On real networks the
+// chunks straddle physical segments, so concurrent cliques collide on
+// shared links — the failure mode ENV-driven planning exists to avoid.
+func BlindPartition(hosts []string, master string, k int, gap time.Duration) *deploy.Plan {
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	if master == "" {
+		master = sorted[0]
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	memoryOf := map[string]string{}
+	for _, h := range sorted {
+		memoryOf[h] = master
+	}
+	p := &deploy.Plan{
+		Label:         fmt.Sprintf("blind-%d-%s", k, master),
+		Master:        master,
+		NameServer:    master,
+		Forecaster:    master,
+		MemoryServers: []string{master},
+		MemoryOf:      memoryOf,
+		Hosts:         sorted,
+	}
+	size := (len(sorted) + k - 1) / k
+	var firstOf []string
+	for i := 0; i < len(sorted); i += size {
+		end := i + size
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		chunk := sorted[i:end]
+		if len(chunk) < 2 {
+			if len(firstOf) > 0 {
+				// Fold a trailing single host into a bridge with the
+				// previous chunk head.
+				p.Cliques = append(p.Cliques, deploy.CliqueSpec{
+					Name:    fmt.Sprintf("blind-%d", len(p.Cliques)),
+					Members: []string{firstOf[len(firstOf)-1], chunk[0]},
+					Period:  gap,
+				})
+			}
+			continue
+		}
+		p.Cliques = append(p.Cliques, deploy.CliqueSpec{
+			Name:    fmt.Sprintf("blind-%d", len(p.Cliques)),
+			Members: chunk,
+			Period:  gap,
+		})
+		firstOf = append(firstOf, chunk[0])
+	}
+	for i := 0; i+1 < len(firstOf); i++ {
+		p.Cliques = append(p.Cliques, deploy.CliqueSpec{
+			Name:    fmt.Sprintf("bridge-%d", i),
+			Members: []string{firstOf[i], firstOf[i+1]},
+			Period:  gap,
+		})
+	}
+	return p
+}
+
+// NaiveMappingCost is §4.3's cost model for the exhaustive mapping
+// algorithm: with n hosts there are L = n(n-1) directed links; testing
+// whether each ordered pair of distinct links interferes takes one
+// experiment of perExperiment (the paper assumes 30 s so the network
+// settles): L × (L-1) experiments. For n=20 and 30 s this is 49.99
+// days — the paper's "about 50 days for 20 hosts".
+func NaiveMappingCost(n int, perExperiment time.Duration) time.Duration {
+	links := n * (n - 1)
+	return time.Duration(links) * time.Duration(links-1) * perExperiment
+}
+
+// NaiveMappingStats reports a simulated naive mapping campaign.
+type NaiveMappingStats struct {
+	Hosts    int
+	Probes   int
+	Bytes    int64
+	Duration time.Duration
+}
+
+// SimulateNaiveMapping actually runs the naive algorithm on a simulated
+// network for small n: it measures every directed link alone, then every
+// ordered pair of distinct links concurrently, with a settle delay
+// between experiments. Must be called from a simulation process.
+func SimulateNaiveMapping(net *simnet.Network, hosts []string, probeBytes int64, settle time.Duration) (NaiveMappingStats, error) {
+	sim := net.Sim()
+	start := sim.Now()
+	st := NaiveMappingStats{Hosts: len(hosts)}
+
+	type link struct{ a, b string }
+	var links []link
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a != b {
+				links = append(links, link{a, b})
+			}
+		}
+	}
+	// Solo pass.
+	for _, l := range links {
+		if _, err := net.Transfer(l.a, l.b, probeBytes, "naive"); err != nil {
+			return st, err
+		}
+		st.Probes++
+		st.Bytes += probeBytes
+		sim.Sleep(settle)
+	}
+	// Pairwise interference pass.
+	for i, l1 := range links {
+		for j, l2 := range links {
+			if i == j {
+				continue
+			}
+			done := vclock.NewChan[struct{}](sim, "naive")
+			l2 := l2
+			sim.Go("naive-jam", func() {
+				net.Transfer(l2.a, l2.b, probeBytes*4, "naive")
+				done.Send(struct{}{})
+			})
+			if _, err := net.Transfer(l1.a, l1.b, probeBytes, "naive"); err != nil {
+				return st, err
+			}
+			done.Recv()
+			st.Probes += 2
+			st.Bytes += probeBytes * 5
+			sim.Sleep(settle)
+		}
+	}
+	st.Duration = sim.Now() - start
+	return st, nil
+}

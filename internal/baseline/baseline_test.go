@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nwsenv/internal/deploy"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/topo"
+	"nwsenv/internal/vclock"
+)
+
+func TestFullMeshPlanComplete(t *testing.T) {
+	hosts := []string{"a", "b", "c", "d"}
+	p := FullMesh(hosts, "a", time.Second)
+	if len(p.Cliques) != 1 || len(p.Cliques[0].Members) != 4 {
+		t.Fatalf("plan %+v", p.Cliques)
+	}
+	est := deploy.NewEstimator(p, func(a, b string) (float64, float64, bool) { return 1, 1, true })
+	if ok, missing := est.Complete(); !ok {
+		t.Fatalf("full mesh must be complete: %v", missing)
+	}
+}
+
+func TestBlindPartitionChainsChunks(t *testing.T) {
+	hosts := []string{"h1", "h2", "h3", "h4", "h5", "h6"}
+	p := BlindPartition(hosts, "h1", 3, time.Second)
+	est := deploy.NewEstimator(p, func(a, b string) (float64, float64, bool) { return 1, 1, true })
+	if ok, missing := est.Complete(); !ok {
+		t.Fatalf("blind partition with bridges must stay complete: %v", missing)
+	}
+	// 3 chunk cliques + 2 bridges.
+	if len(p.Cliques) != 5 {
+		t.Fatalf("cliques %d: %+v", len(p.Cliques), p.Cliques)
+	}
+}
+
+func TestNaiveMappingCostMatchesPaper(t *testing.T) {
+	// §4.3: "the whole process would last about 50 days for 20 hosts"
+	// at 30 s per experiment.
+	got := NaiveMappingCost(20, 30*time.Second)
+	days := got.Hours() / 24
+	if days < 49 || days > 51 {
+		t.Fatalf("naive cost for n=20: %.1f days, want ~50", days)
+	}
+	// Quadratic-in-links growth: n=40 is ~16x n=20.
+	ratio := float64(NaiveMappingCost(40, 30*time.Second)) / float64(got)
+	if ratio < 15 || ratio > 18 {
+		t.Fatalf("cost growth ratio %.1f, want ~16", ratio)
+	}
+}
+
+func TestSimulatedNaiveMappingTracksFormula(t *testing.T) {
+	// For small n the simulated campaign's probe count must equal the
+	// model: L solo + 2·L(L-1) paired probes, L = n(n-1).
+	tp, _ := topo.RandomLAN(7, 2, 2)
+	sim := vclock.New()
+	net := simnet.NewNetwork(sim, tp)
+	hosts := []string{"h0-0", "h0-1", "h1-0"}
+	var st NaiveMappingStats
+	var err error
+	sim.Go("naive", func() {
+		st, err = SimulateNaiveMapping(net, hosts, 1<<20, time.Second)
+	})
+	if e := sim.RunUntil(24 * time.Hour); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := len(hosts) * (len(hosts) - 1)
+	wantProbes := links + 2*links*(links-1)
+	if st.Probes != wantProbes {
+		t.Fatalf("probes %d, want %d", st.Probes, wantProbes)
+	}
+	if st.Duration <= 0 {
+		t.Fatal("no duration recorded")
+	}
+	// The settle delays alone are links + links(links-1) seconds.
+	minDur := time.Duration(links+links*(links-1)) * time.Second
+	if st.Duration < minDur {
+		t.Fatalf("duration %v below settle floor %v", st.Duration, minDur)
+	}
+}
+
+func TestBlindPartitionCollidesWhereENVDoesNot(t *testing.T) {
+	// On the ENS-Lyon hubs, blind chunks by name straddle physical
+	// segments: concurrent cliques collide. This is E6's core claim.
+	e := topo.NewEnsLyon()
+	sim := vclock.New()
+	net := simnet.NewNetwork(sim, e.Topo)
+	tr := proto.NewSimTransport(net)
+
+	// Monitored hosts: the public side plus gateways (single zone so the
+	// blind plan's cliques are all routable).
+	hosts := []string{"the-doors", "canaria", "moby", "popc0", "myri0", "sci0"}
+	resolve := map[string]string{}
+	for _, h := range hosts {
+		resolve[h] = h
+	}
+	p := BlindPartition(hosts, "the-doors", 3, 500*time.Millisecond)
+	dep, err := deploy.Apply(tr, sensor.SimProber{Net: net}, p, resolve, deploy.ApplyOptions{TokenGap: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dep.Stop()
+	collisions := len(net.Collisions())
+	if collisions == 0 {
+		t.Fatalf("blind partition on hubs should collide; cliques: %s", p.Summary())
+	}
+}
+
+func TestFullMeshFrequencyCollapses(t *testing.T) {
+	// Frequency per pair under a full mesh falls as 1/n² while a split
+	// deployment holds it steady; sanity check the 1/n trend per host.
+	perPair := func(n int) float64 {
+		tp, _ := topo.RandomLAN(3, 1, n)
+		sim := vclock.New()
+		net := simnet.NewNetwork(sim, tp)
+		tr := proto.NewSimTransport(net)
+		var hosts []string
+		for _, h := range tp.HostIDs() {
+			if h != "world" {
+				hosts = append(hosts, h)
+			}
+		}
+		resolve := map[string]string{}
+		for _, h := range hosts {
+			resolve[h] = h
+		}
+		p := FullMesh(hosts, hosts[0], 200*time.Millisecond)
+		dep, err := deploy.Apply(tr, sensor.SimProber{Net: net}, p, resolve, deploy.ApplyOptions{TokenGap: 200 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunUntil(10 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		dep.Stop()
+		count := 0
+		for _, rec := range net.Records() {
+			if rec.Src == hosts[0] && rec.Dst == hosts[1] && rec.Tag != "" {
+				count++
+			}
+		}
+		return float64(count)
+	}
+	small, large := perPair(3), perPair(9)
+	if small <= large*1.5 {
+		t.Fatalf("full mesh frequency should collapse with n: n=3 %.0f vs n=9 %.0f", small, large)
+	}
+	_ = fmt.Sprint()
+}

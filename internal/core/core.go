@@ -1,0 +1,201 @@
+// Package core is the paper's contribution end to end: automatic NWS
+// deployment driven by ENV mapping. AutoDeploy chains the three phases
+// the introduction identifies — gather the underlying network topology,
+// compute a deployment plan, apply it on the platform — over the
+// simulated testbed substrate.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nwsenv/internal/deploy"
+	"nwsenv/internal/env"
+	"nwsenv/internal/gridml"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/simnet"
+)
+
+// MapRun describes one ENV run (one firewall side).
+type MapRun struct {
+	// Master is the run's point of view (node ID).
+	Master string
+	// Hosts are the node IDs mapped by this run.
+	Hosts []string
+	// Names maps node IDs to display FQDNs (optional).
+	Names map[string]string
+	// Thresholds default to the paper's values.
+	Thresholds env.Thresholds
+	// StrictPaper selects the unmodified §4.2.2.4 classification.
+	StrictPaper bool
+}
+
+// Options configure AutoDeploy.
+type Options struct {
+	// Runs lists the ENV runs; several runs are merged with Aliases
+	// (§4.3 firewall handling). At least one is required.
+	Runs []MapRun
+	// Aliases cross-identify gateways between runs.
+	Aliases []gridml.GatewayAlias
+	// GridLabel names the merged document.
+	GridLabel string
+	// Master (canonical machine name) hosts the name server and
+	// forecaster. Defaults to the first run's master.
+	Master string
+	// TokenGap paces the deployed cliques.
+	TokenGap time.Duration
+	// HostSensorPeriod enables CPU/memory sensors when > 0.
+	HostSensorPeriod time.Duration
+	// PlanOnly computes and validates the plan without starting agents.
+	PlanOnly bool
+}
+
+// Outcome is everything AutoDeploy produced.
+type Outcome struct {
+	// Results holds the per-run mapping results in Runs order.
+	Results []*env.Result
+	// Merged is the unified mapping.
+	Merged *env.Merged
+	// Plan is the §5.1 deployment plan.
+	Plan *deploy.Plan
+	// Validation checks the plan's §2.3 constraints against the true
+	// topology.
+	Validation *deploy.Validation
+	// Deployment is the running system (nil with PlanOnly).
+	Deployment *deploy.Deployment
+	// Resolve maps canonical machine names to node IDs.
+	Resolve map[string]string
+}
+
+// AutoDeploy maps the platform with ENV, plans the NWS deployment, and
+// applies it. It must be called from a simulation process.
+func AutoDeploy(net *simnet.Network, tr *proto.SimTransport, opts Options) (*Outcome, error) {
+	if len(opts.Runs) == 0 {
+		return nil, fmt.Errorf("core: no mapping runs configured")
+	}
+	if opts.GridLabel == "" {
+		opts.GridLabel = "Grid1"
+	}
+
+	out := &Outcome{Resolve: map[string]string{}}
+
+	// Phase 1: gather the topology (one ENV run per firewall side).
+	for _, run := range opts.Runs {
+		cfg := env.Config{
+			Master:      run.Master,
+			Hosts:       run.Hosts,
+			Names:       run.Names,
+			Thresholds:  run.Thresholds,
+			StrictPaper: run.StrictPaper,
+		}
+		res, err := env.NewMapper(net, cfg).Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: mapping from %s: %w", run.Master, err)
+		}
+		out.Results = append(out.Results, res)
+	}
+	switch len(out.Results) {
+	case 1:
+		out.Merged = env.Single(out.Results[0])
+	case 2:
+		m, err := env.Merge(opts.GridLabel, out.Results[0], out.Results[1], opts.Aliases)
+		if err != nil {
+			return nil, err
+		}
+		out.Merged = m
+	default:
+		// Fold left over successive merges.
+		m, err := env.Merge(opts.GridLabel, out.Results[0], out.Results[1], opts.Aliases)
+		if err != nil {
+			return nil, err
+		}
+		for _, more := range out.Results[2:] {
+			m2, err := env.Merge(opts.GridLabel, &env.Result{Doc: m.Doc, Networks: m.Networks, Stats: m.Stats}, more, opts.Aliases)
+			if err != nil {
+				return nil, err
+			}
+			m = m2
+		}
+		out.Merged = m
+	}
+
+	// Resolve canonical names to node IDs using run metadata and DNS.
+	topoRef := net.Topology()
+	record := func(id string, name string) {
+		if m := out.Merged.Doc.FindMachine(name); m != nil {
+			out.Resolve[m.CanonicalName()] = id
+		}
+	}
+	for _, run := range opts.Runs {
+		for _, id := range run.Hosts {
+			if n, ok := run.Names[id]; ok {
+				record(id, n)
+				continue
+			}
+			if node := topoRef.Node(id); node != nil && node.DNS != "" {
+				record(id, node.DNS)
+			} else {
+				record(id, id)
+			}
+		}
+	}
+
+	// Phase 2: compute the deployment plan.
+	master := opts.Master
+	if master == "" {
+		first := opts.Runs[0]
+		if n, ok := first.Names[first.Master]; ok {
+			master = n
+		} else if node := topoRef.Node(first.Master); node != nil && node.DNS != "" {
+			master = node.DNS
+		} else {
+			master = first.Master
+		}
+	}
+	plan, err := deploy.NewPlan(out.Merged, deploy.PlanConfig{Master: master, TokenGap: opts.TokenGap})
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = plan
+
+	v, err := deploy.Validate(plan, topoRef, out.Resolve)
+	if err != nil {
+		return nil, err
+	}
+	out.Validation = v
+	if !v.Complete {
+		return nil, fmt.Errorf("core: planned deployment incomplete: %v", v.MissingPairs)
+	}
+
+	if opts.PlanOnly {
+		return out, nil
+	}
+
+	// Phase 3: apply the plan.
+	net.ResetAccounting() // separate the monitoring era from the mapping era
+	dep, err := deploy.Apply(tr, sensor.SimProber{Net: net}, plan, out.Resolve, deploy.ApplyOptions{
+		TokenGap:         opts.TokenGap,
+		HostSensorPeriod: opts.HostSensorPeriod,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Deployment = dep
+	return out, nil
+}
+
+// EnsLyonOptions returns the canonical two-run configuration for the
+// paper's testbed, given its metadata.
+func EnsLyonOptions(outsideMaster string, outsideHosts []string, outsideNames map[string]string,
+	insideMaster string, insideHosts []string, insideNames map[string]string,
+	aliases []gridml.GatewayAlias) Options {
+	return Options{
+		Runs: []MapRun{
+			{Master: outsideMaster, Hosts: outsideHosts, Names: outsideNames},
+			{Master: insideMaster, Hosts: insideHosts, Names: insideNames},
+		},
+		Aliases:  aliases,
+		TokenGap: time.Second,
+	}
+}

@@ -1,0 +1,44 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// EncodeConfig renders the plan as the shared configuration file of
+// §5.2: one JSON document dispatched to every host, from which each
+// manager applies its local part.
+func EncodeConfig(p *Plan) ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeConfig parses a configuration file.
+func DecodeConfig(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("deploy: config: %w", err)
+	}
+	if p.MemoryOf == nil {
+		p.MemoryOf = map[string]string{}
+	}
+	return &p, nil
+}
+
+// Summary renders a human-readable view of the plan, shaped like
+// Figure 3's caption: the clique list with their roles.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deployment %s (master %s)\n", p.Label, p.Master)
+	fmt.Fprintf(&b, "  name server : %s\n", p.NameServer)
+	fmt.Fprintf(&b, "  forecaster  : %s\n", p.Forecaster)
+	fmt.Fprintf(&b, "  memory      : %s\n", strings.Join(p.MemoryServers, ", "))
+	for _, c := range p.Cliques {
+		kind := "switched/bridge"
+		if c.Shared {
+			kind = fmt.Sprintf("shared (represents %d hosts)", len(c.Represents))
+		}
+		fmt.Fprintf(&b, "  clique %-24s [%s] %s\n", c.Name, strings.Join(c.Members, ", "), kind)
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"nwsenv/internal/nws/clique"
+	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/host"
+	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+)
+
+// ApplyOptions tune the deployment application.
+type ApplyOptions struct {
+	// TokenGap paces every clique (default 1s).
+	TokenGap time.Duration
+	// HostSensorPeriod enables host sensors when > 0.
+	HostSensorPeriod time.Duration
+	// StaggerStep offsets clique bootstraps to de-synchronize rings
+	// (reduces inter-clique collision windows). Default 500 ms.
+	StaggerStep time.Duration
+	// PairwiseSwitched replaces the token ring of switched-network
+	// cliques with the round-robin pairwise scheduler: the relaxation
+	// the paper's conclusion asks for ("a possibility to lock hosts
+	// (and not networks) is still needed"). Disjoint pairs measure
+	// concurrently, multiplying the per-pair frequency on switches
+	// without creating collisions. Shared networks and bridges keep
+	// their rings.
+	PairwiseSwitched bool
+}
+
+// Deployment is a plan applied to a transport: one agent per host.
+type Deployment struct {
+	Plan    *Plan
+	Agents  map[string]*host.Agent // by canonical machine name
+	Resolve map[string]string      // canonical name -> node ID
+	reverse map[string]string      // node ID -> canonical name
+}
+
+// Apply launches the NWS processes the plan prescribes — the automated
+// counterpart of the paper's §5.2 manager ("the actual deployment of NWS
+// is then as easy as dispatching the configuration file to the hosts and
+// running the manager on each machine").
+//
+// resolve maps canonical machine names to transport host IDs.
+func Apply(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions) (*Deployment, error) {
+	agents, err := buildAgents(tr, prober, plan, resolve, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{
+		Plan:    plan,
+		Agents:  agents,
+		Resolve: resolve,
+		reverse: map[string]string{},
+	}
+	for name, node := range resolve {
+		dep.reverse[node] = name
+	}
+	for _, name := range plan.Hosts {
+		dep.Agents[name].Start()
+	}
+	return dep, nil
+}
+
+// buildAgents constructs (without starting) the agents for the plan's
+// hosts; when only is non-nil, just for that subset.
+func buildAgents(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions, only []string) (map[string]*host.Agent, error) {
+	if opts.TokenGap <= 0 {
+		opts.TokenGap = time.Second
+	}
+	if opts.StaggerStep <= 0 {
+		opts.StaggerStep = 500 * time.Millisecond
+	}
+	id := func(name string) (string, error) {
+		if v, ok := resolve[name]; ok {
+			return v, nil
+		}
+		return "", fmt.Errorf("deploy: no node for machine %q", name)
+	}
+
+	// Build per-clique configs with resolved member IDs and staggered
+	// start delays. Switched cliques optionally use the pairwise
+	// scheduler instead of a ring.
+	cliqueCfgs := map[string][]clique.Config{}       // host ID -> ring configs
+	pairwiseCfgs := map[string][]host.PairwiseRole{} // host ID -> pairwise roles
+	for i, spec := range plan.Cliques {
+		var members []string
+		for _, m := range spec.Members {
+			node, err := id(m)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, node)
+		}
+		gap := spec.Period
+		if gap <= 0 {
+			gap = opts.TokenGap
+		}
+		cfg := clique.Config{
+			Name:       spec.Name,
+			Members:    members,
+			TokenGap:   gap,
+			StartDelay: time.Duration(i) * opts.StaggerStep,
+		}
+		if opts.PairwiseSwitched && spec.Network != "" && !spec.Shared && len(members) >= 3 {
+			role := host.PairwiseRole{
+				Cfg:       cfg,
+				Scheduler: members[0],
+			}
+			for k, node := range members {
+				r := role
+				r.RunScheduler = k == 0
+				pairwiseCfgs[node] = append(pairwiseCfgs[node], r)
+			}
+			continue
+		}
+		for _, node := range members {
+			cliqueCfgs[node] = append(cliqueCfgs[node], cfg)
+		}
+	}
+
+	nsNode, err := id(plan.NameServer)
+	if err != nil {
+		return nil, err
+	}
+	agents := map[string]*host.Agent{}
+	for _, name := range plan.Hosts {
+		if only != nil && !contains(only, name) {
+			continue
+		}
+		node, err := id(name)
+		if err != nil {
+			return nil, err
+		}
+		memNode, err := id(plan.MemoryOf[name])
+		if err != nil {
+			return nil, err
+		}
+		roles := host.Roles{
+			NSHost:           nsNode,
+			MemoryHost:       memNode,
+			Cliques:          cliqueCfgs[node],
+			Pairwise:         pairwiseCfgs[node],
+			HostSensorPeriod: opts.HostSensorPeriod,
+		}
+		if name == plan.NameServer {
+			roles.NameServer = true
+		}
+		if name == plan.Forecaster {
+			roles.Forecaster = true
+		}
+		if contains(plan.MemoryServers, name) {
+			roles.Memory = true
+		}
+		ag, err := host.NewAgent(tr, node, roles, prober)
+		if err != nil {
+			return nil, err
+		}
+		agents[name] = ag
+	}
+	return agents, nil
+}
+
+// Stop terminates every agent.
+func (d *Deployment) Stop() {
+	for _, a := range d.Agents {
+		a.Stop()
+	}
+}
+
+// LiveData returns a PairData that reads the latest measured samples
+// from the deployment's memory servers. It must be used from a
+// simulation process; port is the station the queries are issued from
+// (e.g. the master agent's).
+func (d *Deployment) LiveData(port proto.Port) PairData {
+	return func(from, to string) (float64, float64, bool) {
+		src, ok1 := d.Resolve[from]
+		dst, ok2 := d.Resolve[to]
+		if !ok1 || !ok2 {
+			return 0, 0, false
+		}
+		memHost, ok := d.Resolve[d.Plan.MemoryOf[from]]
+		if !ok {
+			return 0, 0, false
+		}
+		mc := memory.NewClient(port, memHost)
+		lats, err := mc.Fetch(sensor.LatencySeries(src, dst), 1)
+		if err != nil || len(lats) == 0 {
+			return 0, 0, false
+		}
+		bws, err := mc.Fetch(sensor.BandwidthSeries(src, dst), 1)
+		if err != nil || len(bws) == 0 {
+			return 0, 0, false
+		}
+		return lats[0].Value, bws[0].Value, true
+	}
+}
+
+// Estimator builds a live estimator over the running deployment.
+func (d *Deployment) Estimator(port proto.Port) *Estimator {
+	return NewEstimator(d.Plan, d.LiveData(port))
+}
+
+// ForecastData returns a PairData backed by the deployment's forecaster
+// instead of raw last samples: composed queries then answer "what will
+// the path look like next" — §2.1's statistical forecasts feeding §2.3's
+// aggregation. Falls back to nothing (ok=false) for series the
+// forecaster cannot predict yet.
+func (d *Deployment) ForecastData(port proto.Port) PairData {
+	fcHost, ok := d.Resolve[d.Plan.Forecaster]
+	if !ok {
+		return func(string, string) (float64, float64, bool) { return 0, 0, false }
+	}
+	fc := forecast.NewClient(port, fcHost)
+	return func(from, to string) (float64, float64, bool) {
+		src, ok1 := d.Resolve[from]
+		dst, ok2 := d.Resolve[to]
+		if !ok1 || !ok2 {
+			return 0, 0, false
+		}
+		lat, err := fc.Forecast(sensor.LatencySeries(src, dst), 0)
+		if err != nil {
+			return 0, 0, false
+		}
+		bw, err := fc.Forecast(sensor.BandwidthSeries(src, dst), 0)
+		if err != nil {
+			return 0, 0, false
+		}
+		return lat.Value, bw.Value, true
+	}
+}
+
+// ForecastEstimator composes forecasted segment values into end-to-end
+// predictions.
+func (d *Deployment) ForecastEstimator(port proto.Port) *Estimator {
+	return NewEstimator(d.Plan, d.ForecastData(port))
+}

@@ -1,0 +1,99 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+)
+
+// Update transitions a running deployment to a new plan, restarting only
+// the hosts whose role set changed (the §4.3 "platform evolution"
+// workflow: re-map, re-plan, apply the delta). Hosts leaving the plan
+// are stopped; new hosts are started; unchanged hosts keep running
+// undisturbed. It returns the diff that was applied.
+//
+// opts must match the options the deployment was created with (they
+// shape the per-host role fingerprints).
+func (d *Deployment) Update(tr proto.Transport, prober sensor.Prober, newPlan *Plan, resolve map[string]string, opts ApplyOptions) (*Diff, error) {
+	diff := DiffPlans(d.Plan, newPlan)
+	if diff.Empty() {
+		return diff, nil
+	}
+
+	oldFP := rolesFingerprint(d.Plan)
+	newFP := rolesFingerprint(newPlan)
+
+	// Stop removed or changed hosts.
+	var restart []string
+	for _, h := range d.Plan.Hosts {
+		agent := d.Agents[h]
+		if agent == nil {
+			continue
+		}
+		nf, still := newFP[h]
+		if !still {
+			agent.Stop()
+			delete(d.Agents, h)
+			continue
+		}
+		if nf != oldFP[h] {
+			agent.Stop()
+			delete(d.Agents, h)
+			restart = append(restart, h)
+		}
+	}
+	// Start new hosts.
+	for _, h := range newPlan.Hosts {
+		if _, running := d.Agents[h]; !running {
+			if !contains(restart, h) {
+				restart = append(restart, h)
+			}
+		}
+	}
+	sort.Strings(restart)
+
+	// Rebuild a full deployment description for the new plan, but only
+	// instantiate agents for the restart set.
+	fresh, err := buildAgents(tr, prober, newPlan, resolve, opts, restart)
+	if err != nil {
+		return nil, err
+	}
+	for h, ag := range fresh {
+		d.Agents[h] = ag
+		ag.Start()
+	}
+	d.Plan = newPlan
+	for name, node := range resolve {
+		d.Resolve[name] = node
+		d.reverse[node] = name
+	}
+	return diff, nil
+}
+
+// rolesFingerprint summarizes each host's role assignment so Update can
+// detect which hosts need a restart.
+func rolesFingerprint(p *Plan) map[string]string {
+	fp := map[string]string{}
+	for _, h := range p.Hosts {
+		var parts []string
+		if h == p.NameServer {
+			parts = append(parts, "ns")
+		}
+		if h == p.Forecaster {
+			parts = append(parts, "fc")
+		}
+		if contains(p.MemoryServers, h) {
+			parts = append(parts, "mem")
+		}
+		parts = append(parts, "store="+p.MemoryOf[h])
+		for _, c := range p.CliqueFor(h) {
+			parts = append(parts, fmt.Sprintf("clique=%s[%s]", c.Name, strings.Join(c.Members, ",")))
+		}
+		sort.Strings(parts)
+		fp[h] = strings.Join(parts, ";")
+	}
+	return fp
+}

@@ -1,0 +1,132 @@
+package deploy
+
+import (
+	"fmt"
+
+	"nwsenv/internal/simnet"
+)
+
+// Validation is the §2.3 constraint report for a plan.
+type Validation struct {
+	// Complete: every host pair measured or estimable by composition.
+	Complete     bool
+	MissingPairs []string
+
+	// CollisionRisks counts clique pairs whose experiments could collide
+	// on a physical resource if they ever run simultaneously. Within a
+	// clique the token ring serializes experiments, so only inter-clique
+	// overlaps matter.
+	CollisionRisks []CollisionRisk
+
+	// MaxCliqueSize gauges scalability (§2.3: frequency decreases with
+	// clique size).
+	MaxCliqueSize int
+
+	// DirectPairs counts ordered pairs measured directly; TotalPairs is
+	// n(n-1). Their ratio is the intrusiveness advantage over a full
+	// mesh (§2.2: "Given a set of n computers, there is n×(n-1) links to
+	// test").
+	DirectPairs int
+	TotalPairs  int
+}
+
+// CollisionRisk identifies two cliques with a shared physical resource
+// between some of their measurement paths.
+type CollisionRisk struct {
+	CliqueA, CliqueB string
+	PairA, PairB     [2]string
+}
+
+// Validate checks a plan against the §2.3 constraints on the true
+// topology. resolve maps canonical machine names to simulator node IDs.
+func Validate(p *Plan, topo *simnet.Topology, resolve map[string]string) (*Validation, error) {
+	v := &Validation{}
+	for _, c := range p.Cliques {
+		if len(c.Members) > v.MaxCliqueSize {
+			v.MaxCliqueSize = len(c.Members)
+		}
+	}
+	n := len(p.Hosts)
+	v.TotalPairs = n * (n - 1)
+	seen := map[[2]string]struct{}{}
+	for _, pr := range p.MeasuredPairs() {
+		seen[pr] = struct{}{}
+	}
+	v.DirectPairs = len(seen)
+
+	// Completeness via the estimator with a constant oracle (topology
+	// values are irrelevant here, only connectivity).
+	est := NewEstimator(p, func(a, b string) (float64, float64, bool) { return 1, 1, true })
+	v.Complete, v.MissingPairs = est.Complete()
+
+	// Inter-clique collision analysis on the physical topology.
+	id := func(name string) (string, error) {
+		if node, ok := resolve[name]; ok {
+			return node, nil
+		}
+		if topo.Node(name) != nil {
+			return name, nil
+		}
+		return "", fmt.Errorf("deploy: cannot resolve %q to a topology node", name)
+	}
+	for i := 0; i < len(p.Cliques); i++ {
+		for j := i + 1; j < len(p.Cliques); j++ {
+			risk, err := cliquesCollide(p.Cliques[i], p.Cliques[j], topo, id)
+			if err != nil {
+				return nil, err
+			}
+			if risk != nil {
+				v.CollisionRisks = append(v.CollisionRisks, *risk)
+			}
+		}
+	}
+	return v, nil
+}
+
+func cliquesCollide(a, b CliqueSpec, topo *simnet.Topology, id func(string) (string, error)) (*CollisionRisk, error) {
+	for _, pa := range orderedPairs(a.Members) {
+		srcA, err := id(pa[0])
+		if err != nil {
+			return nil, err
+		}
+		dstA, err := id(pa[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, pb := range orderedPairs(b.Members) {
+			srcB, err := id(pb[0])
+			if err != nil {
+				return nil, err
+			}
+			dstB, err := id(pb[1])
+			if err != nil {
+				return nil, err
+			}
+			shared, err := topo.SharedResources(srcA, dstA, srcB, dstB)
+			if err != nil {
+				// Unroutable pair (e.g. firewall): such experiments never
+				// run, skip.
+				continue
+			}
+			if shared {
+				return &CollisionRisk{
+					CliqueA: a.Name, CliqueB: b.Name,
+					PairA: pa, PairB: pb,
+				}, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func orderedPairs(members []string) [][2]string {
+	var out [][2]string
+	for _, x := range members {
+		for _, y := range members {
+			if x != y {
+				out = append(out, [2]string{x, y})
+			}
+		}
+	}
+	return out
+}

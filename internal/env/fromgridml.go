@@ -1,0 +1,68 @@
+package env
+
+import (
+	"strconv"
+
+	"nwsenv/internal/gridml"
+)
+
+// FromGridML reconstructs the classified network list from a GridML
+// document produced by the mapper (or merged from several runs). It lets
+// the deployment planner work from a saved mapping file, the way the
+// paper suggests administrators "publish the mapping of their network as
+// reported by ENV, so that any user can use it without redoing the
+// mapping" (§4.3).
+func FromGridML(doc *gridml.Document) []*Network {
+	var out []*Network
+	var walk func(n *gridml.Network, parentHop string)
+	walk = func(n *gridml.Network, parentHop string) {
+		hop := parentHop
+		if n.Type == gridml.TypeStructural {
+			if n.Label != nil && n.Label.Name != "" {
+				hop = n.Label.Name
+			}
+		} else {
+			nw := &Network{
+				Label:      n.Name(),
+				GatewayHop: parentHop,
+			}
+			if gw, ok := n.Property(PropGateway); ok {
+				nw.GatewayHop = gw
+			}
+			switch n.Type {
+			case gridml.TypeShared:
+				nw.Class = Shared
+			case gridml.TypeSwitched:
+				nw.Class = Switched
+			default:
+				nw.Class = Unknown
+			}
+			if v, ok := n.Property(gridml.PropBaseBW); ok {
+				nw.BaseBW, _ = strconv.ParseFloat(v, 64)
+			}
+			if v, ok := n.Property(gridml.PropBaseLocalBW); ok {
+				nw.LocalBW, _ = strconv.ParseFloat(v, 64)
+			}
+			if v, ok := n.Property(PropReverseBW); ok {
+				nw.ReverseBW, _ = strconv.ParseFloat(v, 64)
+			}
+			for _, m := range n.Machines {
+				nw.Hosts = append(nw.Hosts, m.CanonicalName())
+			}
+			out = append(out, nw)
+		}
+		for _, c := range n.Networks {
+			walk(c, hop)
+		}
+	}
+	for _, n := range doc.Networks {
+		walk(n, "")
+	}
+	return out
+}
+
+// MergedFromGridML wraps a decoded document as a Merged result so the
+// planner can consume it directly.
+func MergedFromGridML(doc *gridml.Document) *Merged {
+	return &Merged{Doc: doc, Networks: FromGridML(doc)}
+}

@@ -1,0 +1,144 @@
+package env
+
+import (
+	"nwsenv/internal/gridml"
+)
+
+// Merged is the combination of two ENV runs mapped on the two sides of a
+// firewall (§4.3 "Firewalls": "We solved this issue by running ENV on
+// each side of the firewall, and merging the results afterward").
+type Merged struct {
+	// Doc contains both sites with cross-aliased gateways.
+	Doc *gridml.Document
+	// Networks is the unified network list: networks from the two runs
+	// whose (alias-resolved) memberships overlap are fused.
+	Networks []*Network
+	// Stats accumulates both runs' probe costs.
+	Stats Stats
+}
+
+// Merge combines an outside and an inside run. Gateways named in aliases
+// are identified across the runs. When the two runs classified
+// overlapping host sets differently, the Shared verdict wins: treating a
+// shared segment as switched would let the deployment schedule colliding
+// measurements, while the converse only costs some frequency — the
+// conservative resolution for the §2.3 constraints.
+func Merge(label string, outside, inside *Result, aliases []gridml.GatewayAlias) (*Merged, error) {
+	doc, err := gridml.Merge(label, outside.Doc, inside.Doc, aliases)
+	if err != nil {
+		return nil, err
+	}
+
+	canon := func(name string) string {
+		if m := doc.FindMachine(name); m != nil {
+			return m.CanonicalName()
+		}
+		return name
+	}
+
+	var unified []*Network
+	absorb := func(nw *Network) {
+		members := map[string]struct{}{}
+		for _, h := range nw.Hosts {
+			members[canon(h)] = struct{}{}
+		}
+		for _, have := range unified {
+			overlap := false
+			for _, h := range have.Hosts {
+				if _, ok := members[h]; ok {
+					overlap = true
+					break
+				}
+			}
+			if !overlap {
+				continue
+			}
+			// Fuse into the existing network.
+			seen := map[string]struct{}{}
+			for _, h := range have.Hosts {
+				seen[h] = struct{}{}
+			}
+			for h := range members {
+				if _, dup := seen[h]; !dup {
+					have.Hosts = append(have.Hosts, h)
+				}
+			}
+			have.Hosts = sortedCopy(have.Hosts)
+			have.HostIDs = nil // IDs are run-local; drop after fusion
+			if nw.Class == Shared || have.Class == Unknown && nw.Class != Unknown {
+				have.Class = nw.Class
+			}
+			if nw.LocalBW > 0 {
+				have.LocalBW = nw.LocalBW
+			}
+			if nw.ReverseBW > 0 {
+				have.ReverseBW = nw.ReverseBW
+			}
+			if have.GatewayHop == "" {
+				have.GatewayHop = nw.GatewayHop
+			}
+			have.ContainsMaster = have.ContainsMaster || nw.ContainsMaster
+			return
+		}
+		cp := *nw
+		cp.Hosts = nil
+		for h := range members {
+			cp.Hosts = append(cp.Hosts, h)
+		}
+		cp.Hosts = sortedCopy(cp.Hosts)
+		cp.GatewayHop = canon(nw.GatewayHop)
+		unified = append(unified, &cp)
+	}
+	for _, nw := range outside.Networks {
+		absorb(nw)
+	}
+	for _, nw := range inside.Networks {
+		absorb(nw)
+	}
+
+	// Rewrite the document's network section: keep the structural
+	// skeletons of both runs, but replace the (now partially duplicated)
+	// ENV networks with the unified list, each carrying its gateway hop
+	// so a reloaded file plans identically.
+	var strip func(ns []*gridml.Network) []*gridml.Network
+	strip = func(ns []*gridml.Network) []*gridml.Network {
+		var out []*gridml.Network
+		for _, n := range ns {
+			if n.Type != gridml.TypeStructural {
+				continue
+			}
+			n.Networks = strip(n.Networks)
+			out = append(out, n)
+		}
+		return out
+	}
+	doc.Networks = strip(doc.Networks)
+	for _, nw := range unified {
+		doc.Networks = append(doc.Networks, networkToGridML(nw))
+	}
+
+	stats := outside.Stats
+	stats.Probes += inside.Stats.Probes
+	stats.ProbeBytes += inside.Stats.ProbeBytes
+	stats.Traceroutes += inside.Stats.Traceroutes
+	if inside.Stats.Finished > stats.Finished {
+		stats.Finished = inside.Stats.Finished
+	}
+	if inside.Stats.Started < stats.Started {
+		stats.Started = inside.Stats.Started
+	}
+
+	return &Merged{Doc: doc, Networks: unified, Stats: stats}, nil
+}
+
+// Single wraps one run as a Merged result (no firewall case), with host
+// names canonicalized the same way.
+func Single(res *Result) *Merged {
+	var nets []*Network
+	for _, nw := range res.Networks {
+		cp := *nw
+		cp.Hosts = sortedCopy(nw.Hosts)
+		nets = append(nets, &cp)
+	}
+	return &Merged{Doc: res.Doc, Networks: nets, Stats: res.Stats}
+}

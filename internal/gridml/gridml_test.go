@@ -1,0 +1,283 @@
+package gridml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperLookupXML is the lookup-phase listing from §4.2.1.1 of the paper.
+const paperLookupXML = `<?xml version="1.0"?>
+<GRID>
+  <SITE domain="ens-lyon.fr">
+    <LABEL name="ENS-LYON-FR" />
+    <MACHINE>
+      <LABEL ip="140.77.13.229" name="canaria.ens-lyon.fr">
+        <ALIAS name="canaria" />
+      </LABEL>
+    </MACHINE>
+    <MACHINE>
+      <LABEL ip="140.77.13.82" name="moby.cri2000.ens-lyon.fr">
+        <ALIAS name="moby" />
+      </LABEL>
+    </MACHINE>
+  </SITE>
+</GRID>`
+
+// paperSwitchedXML is the sci-cluster listing from §4.2.2.4.
+const paperSwitchedXML = `<?xml version="1.0"?>
+<GRID>
+  <SITE domain="popc.private">
+    <MACHINE><LABEL ip="192.168.81.1" name="sci1.popc.private"/></MACHINE>
+    <MACHINE><LABEL ip="192.168.81.2" name="sci2.popc.private"/></MACHINE>
+  </SITE>
+  <NETWORK type="ENV_Switched">
+    <LABEL name="sci0" />
+    <PROPERTY name="ENV_base_BW" value="32.65" units="Mbps" />
+    <PROPERTY name="ENV_base_local_BW" value="32.29" units="Mbps" />
+    <MACHINE name="sci1.popc.private" />
+    <MACHINE name="sci2.popc.private" />
+  </NETWORK>
+</GRID>`
+
+func TestDecodePaperLookupListing(t *testing.T) {
+	d, err := Decode([]byte(paperLookupXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sites) != 1 || d.Sites[0].Domain != "ens-lyon.fr" {
+		t.Fatalf("sites %+v", d.Sites)
+	}
+	if len(d.Sites[0].Machines) != 2 {
+		t.Fatalf("machines %d", len(d.Sites[0].Machines))
+	}
+	m := d.FindMachine("canaria")
+	if m == nil || m.CanonicalName() != "canaria.ens-lyon.fr" {
+		t.Fatalf("alias lookup failed: %+v", m)
+	}
+	if m.Label.IP != "140.77.13.229" {
+		t.Fatalf("ip %s", m.Label.IP)
+	}
+}
+
+func TestDecodePaperSwitchedListing(t *testing.T) {
+	d, err := Decode([]byte(paperSwitchedXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Networks) != 1 {
+		t.Fatalf("networks %d", len(d.Networks))
+	}
+	n := d.Networks[0]
+	if n.Type != TypeSwitched || n.Name() != "sci0" {
+		t.Fatalf("network %+v", n)
+	}
+	if v, ok := n.Property(PropBaseBW); !ok || v != "32.65" {
+		t.Fatalf("base bw %q %v", v, ok)
+	}
+	if v, ok := n.Property(PropBaseLocalBW); !ok || v != "32.29" {
+		t.Fatalf("base local bw %q %v", v, ok)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesDanglingRef(t *testing.T) {
+	d := &Document{
+		Networks: []*Network{{
+			Type:     TypeShared,
+			Machines: []*Machine{{Name: "ghost"}},
+		}},
+	}
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected dangling reference error")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := Decode([]byte(paperSwitchedXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := d2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", enc, enc2)
+	}
+}
+
+func buildSide(domain string, machines ...string) *Document {
+	d := &Document{}
+	s := d.SiteFor(domain)
+	for i, m := range machines {
+		s.Machines = append(s.Machines, &Machine{
+			Label: &Label{Name: m, IP: domain + string(rune('0'+i))},
+		})
+	}
+	return d
+}
+
+func TestMergePaperScenario(t *testing.T) {
+	// §4.3: outside sees the gateways by their public names, inside by
+	// their private names; after the merge each gateway machine carries
+	// both.
+	outside := buildSide("ens-lyon.fr",
+		"canaria.ens-lyon.fr", "popc.ens-lyon.fr", "myri.ens-lyon.fr", "sci.ens-lyon.fr")
+	inside := buildSide("popc.private",
+		"popc0.popc.private", "myri0.popc.private", "sci0.popc.private", "sci1.popc.private")
+	merged, err := Merge("Grid1", outside, inside, []GatewayAlias{
+		{Outside: "popc.ens-lyon.fr", Inside: "popc0.popc.private"},
+		{Outside: "myri.ens-lyon.fr", Inside: "myri0.popc.private"},
+		{Outside: "sci.ens-lyon.fr", Inside: "sci0.popc.private"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Sites) != 2 {
+		t.Fatalf("sites %d", len(merged.Sites))
+	}
+	// Looking up either name finds a machine knowing both.
+	for _, pair := range [][2]string{
+		{"popc.ens-lyon.fr", "popc0.popc.private"},
+		{"myri.ens-lyon.fr", "myri0.popc.private"},
+		{"sci.ens-lyon.fr", "sci0.popc.private"},
+	} {
+		mo := merged.FindMachine(pair[0])
+		if mo == nil || !mo.HasName(pair[1]) {
+			t.Fatalf("outside machine %s missing alias %s: %+v", pair[0], pair[1], mo)
+		}
+	}
+	// Non-gateways are untouched.
+	if m := merged.FindMachine("sci1.popc.private"); m == nil || m.HasName("sci.ens-lyon.fr") {
+		t.Fatalf("non-gateway polluted: %+v", m)
+	}
+	// Inputs untouched.
+	if outside.FindMachine("popc.ens-lyon.fr").HasName("popc0.popc.private") {
+		t.Fatal("Merge mutated its input")
+	}
+}
+
+func TestMergeUnknownGateway(t *testing.T) {
+	a := buildSide("a.fr", "h1.a.fr")
+	b := buildSide("b.fr", "h1.b.fr")
+	if _, err := Merge("g", a, b, []GatewayAlias{{Outside: "nope", Inside: "h1.b.fr"}}); err == nil {
+		t.Fatal("expected error for unknown outside gateway")
+	}
+	if _, err := Merge("g", a, b, []GatewayAlias{{Outside: "h1.a.fr", Inside: "nope"}}); err == nil {
+		t.Fatal("expected error for unknown inside gateway")
+	}
+}
+
+func TestMergeKeepsNetworks(t *testing.T) {
+	a := buildSide("a.fr", "h1.a.fr")
+	a.Networks = append(a.Networks, &Network{Type: TypeShared, Label: &Label{Name: "hubA"},
+		Machines: []*Machine{{Name: "h1.a.fr"}}})
+	b := buildSide("b.fr", "h1.b.fr")
+	b.Networks = append(b.Networks, &Network{Type: TypeSwitched, Label: &Label{Name: "swB"},
+		Machines: []*Machine{{Name: "h1.b.fr"}}})
+	m, err := Merge("g", a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Networks) != 2 {
+		t.Fatalf("networks %d", len(m.Networks))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteForCreatesOnce(t *testing.T) {
+	d := &Document{}
+	s1 := d.SiteFor("x.org")
+	s2 := d.SiteFor("x.org")
+	if s1 != s2 || len(d.Sites) != 1 {
+		t.Fatal("SiteFor should be idempotent")
+	}
+	if s1.Label.Name != "X-ORG" {
+		t.Fatalf("label %q", s1.Label.Name)
+	}
+}
+
+func TestWalkNetworks(t *testing.T) {
+	d := &Document{Networks: []*Network{{
+		Label: &Label{Name: "root"},
+		Networks: []*Network{
+			{Label: &Label{Name: "child1"}},
+			{Label: &Label{Name: "child2"}, Networks: []*Network{{Label: &Label{Name: "leaf"}}}},
+		},
+	}}}
+	var seen []string
+	d.WalkNetworks(func(n *Network) { seen = append(seen, n.Name()) })
+	want := "root child1 child2 leaf"
+	if strings.Join(seen, " ") != want {
+		t.Fatalf("walk order %v, want %s", seen, want)
+	}
+}
+
+func TestAddAliasDeduplicates(t *testing.T) {
+	m := &Machine{Label: &Label{Name: "a"}}
+	m.AddAlias("b")
+	m.AddAlias("b")
+	m.AddAlias("a")
+	m.AddAlias("")
+	if len(m.Label.Aliases) != 1 {
+		t.Fatalf("aliases %+v", m.Label.Aliases)
+	}
+}
+
+// TestPropertyRoundTripQuick fuzzes name/value/units survival through a
+// round trip.
+func TestPropertyRoundTripQuick(t *testing.T) {
+	sanitize := func(s string) string {
+		// XML attr values cannot contain control chars; restrict the fuzz
+		// domain to printable runes.
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 0x20 && r != '<' && r != '>' && r != '&' && r != '"' && r < 0xD800 {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(name, value, units string) bool {
+		name, value, units = sanitize(name), sanitize(value), sanitize(units)
+		if name == "" {
+			name = "n"
+		}
+		d := &Document{}
+		s := d.SiteFor("q.org")
+		s.Machines = append(s.Machines, &Machine{
+			Label:      &Label{Name: "m.q.org"},
+			Properties: []Property{{Name: name, Value: value, Units: units}},
+		})
+		enc, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		d2, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		m := d2.FindMachine("m.q.org")
+		if m == nil {
+			return false
+		}
+		got, ok := m.Property(name)
+		return ok && got == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

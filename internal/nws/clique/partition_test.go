@@ -1,0 +1,124 @@
+package clique
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/sensor"
+)
+
+// TestPartitionSplitBrainAndHeal: partitioning a 4-member ring into two
+// halves forces elections on the side without the token; after healing,
+// epoch and sequence dedup kill the surplus token and the ring converges
+// back to a single circulating token.
+func TestPartitionSplitBrainAndHeal(t *testing.T) {
+	r := newRig(t, 4, Config{
+		TokenGap:     500 * time.Millisecond,
+		TokenTimeout: 10 * time.Second,
+		AckTimeout:   time.Second,
+	})
+	// Partition {h0,h1} | {h2,h3} at t=20s, heal at t=80s.
+	cut := func(blocked bool) {
+		for _, a := range []string{"h0", "h1"} {
+			for _, b := range []string{"h2", "h3"} {
+				r.tr.SetBlocked(a, b, blocked)
+			}
+		}
+	}
+	r.sim.Go("partitioner", func() {
+		r.sim.Sleep(20 * time.Second)
+		cut(true)
+		r.sim.Sleep(60 * time.Second)
+		cut(false)
+	})
+	if err := r.sim.RunUntil(4 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	r.stopAll()
+
+	// During the partition, both halves keep measuring among themselves
+	// (the tokenless half after an election).
+	inWindow := func(series string, lo, hi time.Duration) int {
+		n := 0
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for _, m := range r.meas {
+			if m.Series == series && m.At >= lo && m.At <= hi {
+				n++
+			}
+		}
+		return n
+	}
+	if n := inWindow(sensor.BandwidthSeries("h0", "h1"), 40*time.Second, 80*time.Second); n == 0 {
+		t.Fatal("left half stalled during partition")
+	}
+	if n := inWindow(sensor.BandwidthSeries("h2", "h3"), 40*time.Second, 80*time.Second); n == 0 {
+		t.Fatal("right half stalled during partition")
+	}
+	// Someone coordinated during the split.
+	coordinations := 0
+	for _, m := range r.members {
+		coordinations += m.Stats().Coordinations
+	}
+	if coordinations == 0 {
+		t.Fatal("no coordinator emerged in the tokenless half")
+	}
+	// After healing, cross-partition pairs are measured again.
+	if n := inWindow(sensor.BandwidthSeries("h1", "h3"), 100*time.Second, 4*time.Minute); n == 0 {
+		t.Fatal("ring did not re-unify after heal")
+	}
+	// Convergence: stale tokens were dropped rather than multiplying.
+	// Count concurrent holder overlap after heal via probe collisions
+	// restricted to the clique tag.
+	collisionsAfterHeal := 0
+	for _, c := range r.net.Collisions() {
+		if c.At > 100*time.Second && strings.HasPrefix(c.TagA, "clique:") {
+			collisionsAfterHeal++
+		}
+	}
+	// A brief overlap right at heal time is acceptable; sustained
+	// duplication is not.
+	if collisionsAfterHeal > 10 {
+		t.Fatalf("token duplication persisted after heal: %d collisions", collisionsAfterHeal)
+	}
+}
+
+// TestPartitionedMinorityKeepsOwnLog is a smaller variant: a 2-member
+// clique partitioned in the middle has each side degrade to a solo
+// holder without deadlock, and heal restores pair measurements.
+func TestPartitionTwoMemberClique(t *testing.T) {
+	r := newRig(t, 2, Config{
+		TokenGap:     300 * time.Millisecond,
+		TokenTimeout: 5 * time.Second,
+		AckTimeout:   time.Second,
+	})
+	r.sim.Go("partitioner", func() {
+		r.sim.Sleep(10 * time.Second)
+		r.tr.SetBlocked("h0", "h1", true)
+		r.sim.Sleep(30 * time.Second)
+		r.tr.SetBlocked("h0", "h1", false)
+	})
+	if err := r.sim.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	r.stopAll()
+	after := 0
+	r.mu.Lock()
+	for _, m := range r.meas {
+		if m.At > 60*time.Second && m.Series == sensor.BandwidthSeries("h0", "h1") {
+			after++
+		}
+	}
+	r.mu.Unlock()
+	if after == 0 {
+		t.Fatal("pair measurements did not resume after heal")
+	}
+	for i, m := range r.members {
+		if m.Stats().TokensHeld == 0 {
+			t.Fatalf("member %d never held a token: %+v", i, m.Stats())
+		}
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,7 @@
+// Package nws groups the Network Weather Service reproduction: the wire
+// protocol and transports (proto), the directory (nameserver), series
+// storage (memory), measurement processes (sensor), the statistical
+// forecasters (forecast), the token-ring measurement cliques (clique)
+// and the per-host agent (host). The integration test in this directory
+// runs the full stack over real loopback TCP sockets.
+package nws

@@ -1,0 +1,119 @@
+package forecast
+
+import (
+	"time"
+
+	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+)
+
+// Server is a running NWS forecaster. Each request follows the four-step
+// flow of §2.1: the client asks the forecaster (1), the forecaster asks
+// the name server which memory server holds the series (2), fetches its
+// history (3), and replies with the battery's prediction (4).
+type Server struct {
+	st      proto.Port
+	ns      *nameserver.Client
+	history int
+}
+
+// NewServer creates a forecaster on st using the given directory client.
+// history bounds how many samples are fetched per forecast (<=0: 256).
+func NewServer(st proto.Port, ns *nameserver.Client, history int) *Server {
+	if history <= 0 {
+		history = 256
+	}
+	return &Server{st: st, ns: ns, history: history}
+}
+
+// Name returns the forecaster's directory name.
+func (s *Server) Name() string { return "forecaster." + s.st.Host() }
+
+// Run serves forecast requests until the station closes.
+func (s *Server) Run() {
+	s.ns.Register(proto.Registration{Name: s.Name(), Kind: "forecaster", Host: s.st.Host()})
+	for {
+		req, ok := s.st.Recv()
+		if !ok {
+			return
+		}
+		switch req.Type {
+		case proto.MsgForecast:
+			s.handleForecast(req)
+		case proto.MsgPing:
+			s.st.Reply(req, proto.Message{Type: proto.MsgPong})
+		default:
+			s.st.ReplyError(req, "forecaster: unexpected %v", req.Type)
+		}
+	}
+}
+
+func (s *Server) handleForecast(req proto.Message) {
+	// Step 2: locate the memory server holding the series.
+	reg, found, err := s.ns.LookupName(req.Series)
+	if err != nil {
+		s.st.ReplyError(req, "forecaster: name server: %v", err)
+		return
+	}
+	if !found {
+		s.st.ReplyError(req, "forecaster: unknown series %q", req.Series)
+		return
+	}
+	// Step 3: fetch the measurement history.
+	mc := memory.NewClient(s.st, reg.Host)
+	n := req.Count
+	if n <= 0 {
+		n = s.history
+	}
+	samples, err := mc.Fetch(req.Series, n)
+	if err != nil {
+		s.st.ReplyError(req, "forecaster: fetch: %v", err)
+		return
+	}
+	if len(samples) == 0 {
+		s.st.ReplyError(req, "forecaster: series %q is empty", req.Series)
+		return
+	}
+	// Step 4: predict and answer.
+	values := make([]float64, len(samples))
+	for i, sm := range samples {
+		values[i] = sm.Value
+	}
+	pred, ok := Run(values)
+	if !ok {
+		s.st.ReplyError(req, "forecaster: insufficient history for %q", req.Series)
+		return
+	}
+	s.st.Reply(req, proto.Message{
+		Type:   proto.MsgForecastReply,
+		Series: req.Series,
+		Value:  pred.Value,
+		MAE:    pred.MAE,
+		MSE:    pred.MSE,
+		Method: pred.Method,
+		Count:  len(samples),
+	})
+}
+
+// Client requests forecasts from a forecaster server.
+type Client struct {
+	St      proto.Port
+	Host    string
+	Timeout time.Duration
+}
+
+// NewClient returns a client for the forecaster on host.
+func NewClient(st proto.Port, host string) *Client {
+	return &Client{St: st, Host: host, Timeout: 10 * time.Second}
+}
+
+// Forecast asks for the next value of series, optionally bounding the
+// history length used.
+func (c *Client) Forecast(series string, history int) (Prediction, error) {
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgForecast, Series: series, Count: history}, c.Timeout)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{Value: reply.Value, MAE: reply.MAE, MSE: reply.MSE, Method: reply.Method, N: reply.Count}, nil
+}

@@ -1,0 +1,132 @@
+package forecast
+
+import (
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+// rig wires ns + memory + forecaster on three hosts and returns a client
+// station on a fourth.
+func rig(t *testing.T) (*vclock.Sim, *proto.Station) {
+	t.Helper()
+	topo := simnet.NewTopology()
+	topo.AddSwitch("sw")
+	for i, h := range []string{"ns", "mem", "fc", "cli"} {
+		topo.AddHost(h, string(rune('1'+i)), h, "x")
+		topo.Connect(h, "sw")
+	}
+	sim := vclock.New()
+	tr := proto.NewSimTransport(simnet.NewNetwork(sim, topo))
+	rt := tr.Runtime()
+	open := func(h string) *proto.Station {
+		ep, err := tr.Open(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto.NewStation(rt, ep)
+	}
+	stNS, stMem, stFc, stCli := open("ns"), open("mem"), open("fc"), open("cli")
+	sim.Go("ns", nameserver.New(stNS).Run)
+	sim.Go("mem", memory.New(stMem, nameserver.NewClient(stMem, "ns")).Run)
+	sim.Go("fc", NewServer(stFc, nameserver.NewClient(stFc, "ns"), 64).Run)
+	return sim, stCli
+}
+
+func TestServerForecastsStoredSeries(t *testing.T) {
+	sim, cli := rig(t)
+	var pred Prediction
+	var err error
+	sim.Go("test", func() {
+		mc := memory.NewClient(cli, "mem")
+		for i := 0; i < 30; i++ {
+			mc.Store("bw.x.y", proto.Sample{At: time.Duration(i) * time.Second, Value: 42})
+		}
+		fc := NewClient(cli, "fc")
+		pred, err = fc.Forecast("bw.x.y", 0)
+	})
+	if e := sim.RunUntil(time.Hour); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Value != 42 || pred.N != 30 {
+		t.Fatalf("prediction %+v", pred)
+	}
+}
+
+func TestServerUnknownSeries(t *testing.T) {
+	sim, cli := rig(t)
+	var err error
+	sim.Go("test", func() {
+		_, err = NewClient(cli, "fc").Forecast("nothing", 0)
+	})
+	if e := sim.RunUntil(time.Hour); e != nil {
+		t.Fatal(e)
+	}
+	if err == nil {
+		t.Fatal("expected unknown-series error")
+	}
+}
+
+func TestServerHistoryBound(t *testing.T) {
+	sim, cli := rig(t)
+	var pred Prediction
+	var err error
+	sim.Go("test", func() {
+		mc := memory.NewClient(cli, "mem")
+		// 20 old samples at 10, then 5 new at 90: with history 5, the
+		// forecast must only see the new level.
+		for i := 0; i < 20; i++ {
+			mc.Store("s", proto.Sample{At: time.Duration(i) * time.Second, Value: 10})
+		}
+		for i := 20; i < 25; i++ {
+			mc.Store("s", proto.Sample{At: time.Duration(i) * time.Second, Value: 90})
+		}
+		pred, err = NewClient(cli, "fc").Forecast("s", 5)
+	})
+	if e := sim.RunUntil(time.Hour); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.N != 5 || pred.Value != 90 {
+		t.Fatalf("prediction %+v, want value 90 over 5 samples", pred)
+	}
+}
+
+func TestServerRejectsWrongMessage(t *testing.T) {
+	sim, cli := rig(t)
+	var err error
+	sim.Go("test", func() {
+		_, err = cli.Call("fc", proto.Message{Type: proto.MsgStore, Series: "s"}, 5*time.Second)
+	})
+	if e := sim.RunUntil(time.Hour); e != nil {
+		t.Fatal(e)
+	}
+	if err == nil {
+		t.Fatal("forecaster should reject store messages")
+	}
+}
+
+func TestServerPing(t *testing.T) {
+	sim, cli := rig(t)
+	var reply proto.Message
+	var err error
+	sim.Go("test", func() {
+		reply, err = cli.Call("fc", proto.Message{Type: proto.MsgPing}, 5*time.Second)
+	})
+	if e := sim.RunUntil(time.Hour); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil || reply.Type != proto.MsgPong {
+		t.Fatalf("ping: %+v %v", reply, err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package host implements the NWS host agent: the per-machine process
+// that owns the host's network endpoint and multiplexes the NWS roles
+// deployed there — name server, memory server, forecaster, host sensor,
+// clique members and pairwise probe agents — over a single station.
+//
+// It is the runtime half of the paper's §5.2 "NWS manager": given the
+// per-host part of a deployment plan, it starts exactly the right
+// processes with the right options.
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nwsenv/internal/nws/clique"
+	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+)
+
+// PairwiseRole describes participation in a pairwise-scheduled group.
+type PairwiseRole struct {
+	Cfg       clique.Config
+	Scheduler string // host running the scheduler
+	// RunScheduler makes this host drive the rounds.
+	RunScheduler bool
+	Rounds       int
+}
+
+// Roles selects which NWS processes run on a host.
+type Roles struct {
+	// NameServer runs the directory here.
+	NameServer bool
+	// Memory runs a memory server here.
+	Memory bool
+	// MemoryRetention caps stored samples per series (0 = default).
+	MemoryRetention int
+	// Forecaster runs a forecaster here.
+	Forecaster bool
+	// ForecastHistory bounds samples fetched per forecast.
+	ForecastHistory int
+
+	// NSHost names the host running the name server (required unless
+	// NameServer is set and self-referencing).
+	NSHost string
+	// MemoryHost names the memory server this host's measurements go to.
+	MemoryHost string
+
+	// Cliques this host is a ring member of.
+	Cliques []clique.Config
+	// Pairwise groups this host participates in.
+	Pairwise []PairwiseRole
+
+	// HostSensorPeriod enables periodic CPU/memory sampling when > 0.
+	HostSensorPeriod time.Duration
+	// HostTrace overrides the synthetic host-resource trace.
+	HostTrace sensor.HostTrace
+}
+
+// Agent is a running host agent.
+type Agent struct {
+	st     *proto.Station
+	rt     proto.Runtime
+	roles  Roles
+	prober sensor.Prober
+
+	mu      sync.Mutex
+	inboxes map[string]proto.Inbox // routing key -> role inbox
+	members []*clique.Member
+	closed  bool
+}
+
+// routing keys
+const (
+	keyNS       = "ns"
+	keyMemory   = "memory"
+	keyForecast = "forecast"
+)
+
+// NewAgent opens the host endpoint on tr and prepares (but does not
+// start) the configured roles.
+func NewAgent(tr proto.Transport, hostName string, roles Roles, prober sensor.Prober) (*Agent, error) {
+	ep, err := tr.Open(hostName)
+	if err != nil {
+		return nil, err
+	}
+	rt := tr.Runtime()
+	a := &Agent{
+		st:      proto.NewStation(rt, ep),
+		rt:      rt,
+		roles:   roles,
+		prober:  prober,
+		inboxes: map[string]proto.Inbox{},
+	}
+	return a, nil
+}
+
+// Host returns the agent's host name.
+func (a *Agent) Host() string { return a.st.Host() }
+
+// Station exposes the agent's station for clients colocated with it
+// (e.g. a test driver querying the forecaster from the same host).
+func (a *Agent) Station() *proto.Station { return a.st }
+
+// Members returns the clique members running on this agent.
+func (a *Agent) Members() []*clique.Member { return a.members }
+
+// rolePort adapts a role inbox + the shared station into a proto.Port.
+type rolePort struct {
+	a     *Agent
+	inbox proto.Inbox
+}
+
+func (p *rolePort) Host() string           { return p.a.st.Host() }
+func (p *rolePort) Runtime() proto.Runtime { return p.a.rt }
+func (p *rolePort) Send(to string, m proto.Message) error {
+	return p.a.st.Send(to, m)
+}
+func (p *rolePort) Call(to string, m proto.Message, timeout time.Duration) (proto.Message, error) {
+	return p.a.st.Call(to, m, timeout)
+}
+func (p *rolePort) Reply(req proto.Message, m proto.Message) error {
+	return p.a.st.Reply(req, m)
+}
+func (p *rolePort) ReplyError(req proto.Message, format string, args ...interface{}) error {
+	return p.a.st.ReplyError(req, format, args...)
+}
+func (p *rolePort) Recv() (proto.Message, bool) { return p.inbox.Recv() }
+func (p *rolePort) RecvTimeout(d time.Duration) (proto.Message, bool) {
+	return p.inbox.RecvTimeout(d)
+}
+func (p *rolePort) Close() error { p.inbox.Close(); return nil }
+
+func (a *Agent) port(key string) *rolePort {
+	inbox := a.rt.NewInbox(a.st.Host() + ":" + key)
+	a.mu.Lock()
+	a.inboxes[key] = inbox
+	a.mu.Unlock()
+	return &rolePort{a: a, inbox: inbox}
+}
+
+// Start launches the dispatcher and every configured role.
+func (a *Agent) Start() {
+	hostName := a.st.Host()
+	if a.roles.NameServer {
+		srv := nameserver.New(a.port(keyNS))
+		a.rt.Go("ns:"+hostName, srv.Run)
+	}
+	var nsc *nameserver.Client
+	if a.roles.NSHost != "" {
+		nsc = nameserver.NewClient(a.st, a.roles.NSHost)
+	}
+	if a.roles.Memory {
+		var opts []memory.Option
+		if a.roles.MemoryRetention > 0 {
+			opts = append(opts, memory.WithRetention(a.roles.MemoryRetention))
+		}
+		srv := memory.New(a.port(keyMemory), nsc, opts...)
+		a.rt.Go("memory:"+hostName, srv.Run)
+	}
+	if a.roles.Forecaster {
+		srv := forecast.NewServer(a.port(keyForecast), nsc, a.roles.ForecastHistory)
+		a.rt.Go("forecaster:"+hostName, srv.Run)
+	}
+	store := a.storeFn()
+	for _, cfg := range a.roles.Cliques {
+		cfg := cfg
+		m := clique.NewMember(cfg, a.port("clique:"+cfg.Name), a.prober, store)
+		a.members = append(a.members, m)
+		a.rt.Go(fmt.Sprintf("clique:%s:%s", cfg.Name, hostName), m.Run)
+	}
+	for _, pw := range a.roles.Pairwise {
+		pw := pw
+		if pw.RunScheduler {
+			sch := &clique.PairwiseScheduler{
+				Cfg: pw.Cfg, Port: a.port("pwsched:" + pw.Cfg.Name), Rounds: pw.Rounds,
+			}
+			a.rt.Go("pwsched:"+pw.Cfg.Name, sch.Run)
+		}
+		isMember := false
+		for _, m := range pw.Cfg.Members {
+			if m == hostName {
+				isMember = true
+			}
+		}
+		if isMember {
+			ag := &clique.ProbeAgent{
+				Port:      a.port("pw:" + pw.Cfg.Name),
+				Prober:    a.prober,
+				Store:     store,
+				Scheduler: pw.Scheduler,
+				Clique:    pw.Cfg.Name,
+			}
+			a.rt.Go("pw:"+pw.Cfg.Name+":"+hostName, ag.Run)
+		}
+	}
+	if a.roles.HostSensorPeriod > 0 && a.roles.MemoryHost != "" {
+		hs := &sensor.HostSensor{
+			St: a.st, NS: nsc, MemHost: a.roles.MemoryHost,
+			Period: a.roles.HostSensorPeriod, Trace: a.roles.HostTrace,
+		}
+		a.rt.Go("hostsensor:"+hostName, hs.Run)
+	}
+	a.rt.Go("dispatch:"+hostName, a.dispatch)
+}
+
+// storeFn binds measurement storage to the configured memory server.
+func (a *Agent) storeFn() clique.StoreFn {
+	if a.roles.MemoryHost == "" {
+		return nil
+	}
+	mc := memory.NewClient(a.st, a.roles.MemoryHost)
+	return func(m sensor.Measurement) {
+		mc.Store(m.Series, proto.Sample{At: m.At, Value: m.Value})
+	}
+}
+
+// dispatch routes incoming application messages to role inboxes.
+func (a *Agent) dispatch() {
+	for {
+		msg, ok := a.st.Recv()
+		if !ok {
+			return
+		}
+		key := ""
+		switch msg.Type {
+		case proto.MsgRegister, proto.MsgUnregister, proto.MsgLookup:
+			key = keyNS
+		case proto.MsgStore, proto.MsgFetch:
+			key = keyMemory
+		case proto.MsgForecast:
+			key = keyForecast
+		case proto.MsgToken, proto.MsgTokenAck, proto.MsgElection, proto.MsgElectionOK, proto.MsgCoordinator:
+			key = "clique:" + msg.Clique
+		case proto.MsgProbeCmd:
+			key = "pw:" + msg.Clique
+		case proto.MsgProbeDone:
+			key = "pwsched:" + msg.Clique
+		case proto.MsgPing:
+			a.st.Reply(msg, proto.Message{Type: proto.MsgPong})
+			continue
+		default:
+			a.st.ReplyError(msg, "host %s: no role for %v", a.st.Host(), msg.Type)
+			continue
+		}
+		a.mu.Lock()
+		inbox := a.inboxes[key]
+		a.mu.Unlock()
+		if inbox == nil {
+			a.st.ReplyError(msg, "host %s: role %s not deployed", a.st.Host(), key)
+			continue
+		}
+		inbox.Send(msg)
+	}
+}
+
+// Stop terminates all roles and detaches from the network.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	inboxes := a.inboxes
+	a.mu.Unlock()
+	for _, m := range a.members {
+		m.Stop()
+	}
+	for _, in := range inboxes {
+		in.Close()
+	}
+	a.st.Close()
+}

@@ -1,0 +1,220 @@
+// Package memory implements the NWS memory server: bounded persistent
+// storage of measurement time series, fetched by forecasters and clients
+// (§2.1: "Memory servers store the results on disk for further use").
+package memory
+
+import (
+	"encoding/gob"
+	"io"
+	"sync"
+	"time"
+
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+)
+
+// DefaultRetention is the per-series sample cap when none is configured.
+const DefaultRetention = 1024
+
+// Server is a running memory server.
+type Server struct {
+	st        proto.Port
+	ns        *nameserver.Client
+	retention int
+
+	mu     sync.Mutex
+	series map[string][]proto.Sample
+	// registered tracks which series have been advertised to the name
+	// server already.
+	registered map[string]bool
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithRetention caps the number of samples kept per series.
+func WithRetention(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.retention = n
+		}
+	}
+}
+
+// New creates a memory server on st that registers itself (and each new
+// series) with the name server reachable through ns. ns may be nil for
+// standalone use.
+func New(st proto.Port, ns *nameserver.Client, opts ...Option) *Server {
+	s := &Server{
+		st:         st,
+		ns:         ns,
+		retention:  DefaultRetention,
+		series:     map[string][]proto.Sample{},
+		registered: map[string]bool{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the directory name of this memory server.
+func (s *Server) Name() string { return "memory." + s.st.Host() }
+
+// Run serves requests until the station closes. It first advertises the
+// server in the directory and keeps the registrations fresh: long-lived
+// monitoring systems outlive the directory TTL.
+func (s *Server) Run() {
+	if s.ns != nil {
+		s.ns.Register(proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()})
+		s.st.Runtime().Go("memory-refresh:"+s.st.Host(), s.refreshLoop)
+	}
+	for {
+		req, ok := s.st.Recv()
+		if !ok {
+			return
+		}
+		switch req.Type {
+		case proto.MsgStore:
+			s.handleStore(req)
+		case proto.MsgFetch:
+			s.handleFetch(req)
+		case proto.MsgPing:
+			s.st.Reply(req, proto.Message{Type: proto.MsgPong})
+		default:
+			s.st.ReplyError(req, "memory: unexpected %v", req.Type)
+		}
+	}
+}
+
+// refreshLoop re-registers the server and its series at a third of the
+// directory TTL, stopping when the station closes.
+func (s *Server) refreshLoop() {
+	for {
+		s.st.Runtime().Sleep(nameserver.DefaultTTL / 3)
+		if err := s.ns.Register(proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()}); err != nil {
+			return
+		}
+		s.mu.Lock()
+		names := make([]string, 0, len(s.registered))
+		for name := range s.registered {
+			names = append(names, name)
+		}
+		s.mu.Unlock()
+		for _, name := range names {
+			s.ns.Register(proto.Registration{
+				Name: name, Kind: "series", Host: s.st.Host(), Owner: s.Name(),
+			})
+		}
+	}
+}
+
+func (s *Server) handleStore(req proto.Message) {
+	if req.Series == "" {
+		s.st.ReplyError(req, "memory: empty series")
+		return
+	}
+	s.mu.Lock()
+	buf := append(s.series[req.Series], req.Samples...)
+	if over := len(buf) - s.retention; over > 0 {
+		buf = append([]proto.Sample(nil), buf[over:]...)
+	}
+	s.series[req.Series] = buf
+	s.mu.Unlock()
+	if s.ns != nil && !s.isRegistered(req.Series) {
+		// Advertise series ownership so forecasters can find the right
+		// memory server (§2.1 step 2).
+		if err := s.ns.Register(proto.Registration{
+			Name: req.Series, Kind: "series", Host: s.st.Host(), Owner: s.Name(),
+		}); err == nil {
+			s.mu.Lock()
+			s.registered[req.Series] = true
+			s.mu.Unlock()
+		}
+	}
+	s.st.Reply(req, proto.Message{Type: proto.MsgStoreAck})
+}
+
+func (s *Server) isRegistered(series string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registered[series]
+}
+
+func (s *Server) handleFetch(req proto.Message) {
+	s.mu.Lock()
+	buf := s.series[req.Series]
+	n := req.Count
+	if n <= 0 || n > len(buf) {
+		n = len(buf)
+	}
+	out := make([]proto.Sample, n)
+	copy(out, buf[len(buf)-n:])
+	s.mu.Unlock()
+	s.st.Reply(req, proto.Message{Type: proto.MsgFetchReply, Series: req.Series, Samples: out})
+}
+
+// SeriesNames lists stored series (for tests and tools).
+func (s *Server) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for n := range s.series {
+		names = append(names, n)
+	}
+	return names
+}
+
+// persistedState is the gob image written by Persist.
+type persistedState struct {
+	Retention int
+	Series    map[string][]proto.Sample
+}
+
+// WriteTo persists the stored series (gob) — the "on disk" half of the
+// paper's memory server.
+func (s *Server) Persist(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(persistedState{Retention: s.retention, Series: s.series})
+}
+
+// ReadFrom restores series persisted by Persist, replacing current
+// contents.
+func (s *Server) Restore(r io.Reader) error {
+	var st persistedState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	s.retention = st.Retention
+	s.series = st.Series
+	if s.series == nil {
+		s.series = map[string][]proto.Sample{}
+	}
+	return nil
+}
+
+// Client wraps store/fetch calls against a memory server.
+type Client struct {
+	St      proto.Port
+	Host    string // memory server host
+	Timeout time.Duration
+}
+
+// NewClient returns a client for the memory server on host.
+func NewClient(st proto.Port, host string) *Client {
+	return &Client{St: st, Host: host, Timeout: 10 * time.Second}
+}
+
+// Store appends samples to a series.
+func (c *Client) Store(series string, samples ...proto.Sample) error {
+	_, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgStore, Series: series, Samples: samples}, c.Timeout)
+	return err
+}
+
+// Fetch returns the last n samples of a series (all if n <= 0).
+func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgFetch, Series: series, Count: n}, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Samples, nil
+}

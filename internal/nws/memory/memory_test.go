@@ -1,0 +1,178 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+type rigT struct {
+	sim  *vclock.Sim
+	stC  *proto.Station // client station on host "c"
+	srv  *Server
+	nsUp bool
+}
+
+func rig(t *testing.T, withNS bool) *rigT {
+	t.Helper()
+	topo := simnet.NewTopology()
+	topo.AddHost("ns", "1", "ns", "x")
+	topo.AddHost("m", "2", "m", "x")
+	topo.AddHost("c", "3", "c", "x")
+	topo.AddSwitch("sw")
+	topo.Connect("ns", "sw")
+	topo.Connect("m", "sw")
+	topo.Connect("c", "sw")
+	sim := vclock.New()
+	tr := proto.NewSimTransport(simnet.NewNetwork(sim, topo))
+	rt := tr.Runtime()
+	open := func(h string) *proto.Station {
+		ep, err := tr.Open(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto.NewStation(rt, ep)
+	}
+	stNS, stM, stC := open("ns"), open("m"), open("c")
+	var nsc *nameserver.Client
+	if withNS {
+		sim.Go("ns", nameserver.New(stNS).Run)
+		nsc = nameserver.NewClient(stM, "ns")
+	}
+	srv := New(stM, nsc, WithRetention(5))
+	sim.Go("memory", srv.Run)
+	return &rigT{sim: sim, stC: stC, srv: srv, nsUp: withNS}
+}
+
+func (r *rigT) run(t *testing.T, fn func(c *Client)) {
+	t.Helper()
+	r.sim.Go("test", func() { fn(NewClient(r.stC, "m")) })
+	if err := r.sim.RunUntil(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreFetch(t *testing.T) {
+	r := rig(t, false)
+	r.run(t, func(c *Client) {
+		if err := c.Store("lat.a.b", proto.Sample{At: time.Second, Value: 1.5}); err != nil {
+			t.Error(err)
+			return
+		}
+		c.Store("lat.a.b", proto.Sample{At: 2 * time.Second, Value: 2.5})
+		got, err := c.Fetch("lat.a.b", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(got) != 2 || got[0].Value != 1.5 || got[1].Value != 2.5 {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestFetchLastN(t *testing.T) {
+	r := rig(t, false)
+	r.run(t, func(c *Client) {
+		for i := 1; i <= 4; i++ {
+			c.Store("s", proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)})
+		}
+		got, _ := c.Fetch("s", 2)
+		if len(got) != 2 || got[0].Value != 3 || got[1].Value != 4 {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestRetentionCap(t *testing.T) {
+	r := rig(t, false) // retention 5
+	r.run(t, func(c *Client) {
+		for i := 1; i <= 12; i++ {
+			c.Store("s", proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)})
+		}
+		got, _ := c.Fetch("s", 0)
+		if len(got) != 5 {
+			t.Errorf("retention: kept %d, want 5", len(got))
+			return
+		}
+		if got[0].Value != 8 || got[4].Value != 12 {
+			t.Errorf("oldest retained %+v", got)
+		}
+	})
+}
+
+func TestFetchUnknownSeriesEmpty(t *testing.T) {
+	r := rig(t, false)
+	r.run(t, func(c *Client) {
+		got, err := c.Fetch("none", 0)
+		if err != nil || len(got) != 0 {
+			t.Errorf("got %v err %v", got, err)
+		}
+	})
+}
+
+func TestEmptySeriesNameRejected(t *testing.T) {
+	r := rig(t, false)
+	r.run(t, func(c *Client) {
+		if err := c.Store("", proto.Sample{Value: 1}); err == nil {
+			t.Error("empty series accepted")
+		}
+	})
+}
+
+func TestSeriesRegisteredWithNameServer(t *testing.T) {
+	r := rig(t, true)
+	r.run(t, func(c *Client) {
+		c.Store("bandwidth.a.b", proto.Sample{At: time.Second, Value: 80e6})
+		nsc := nameserver.NewClient(r.stC, "ns")
+		reg, found, err := nsc.LookupName("bandwidth.a.b")
+		if err != nil || !found {
+			t.Errorf("series not advertised: %v found=%v", err, found)
+			return
+		}
+		if reg.Host != "m" || reg.Owner != "memory.m" {
+			t.Errorf("reg %+v", reg)
+		}
+		// Memory server itself is registered too.
+		if _, found, _ := nsc.LookupName("memory.m"); !found {
+			t.Error("memory server not registered")
+		}
+	})
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	r := rig(t, false)
+	r.run(t, func(c *Client) {
+		c.Store("s1", proto.Sample{At: time.Second, Value: 1})
+		c.Store("s2", proto.Sample{At: 2 * time.Second, Value: 2}, proto.Sample{At: 3 * time.Second, Value: 3})
+	})
+	var buf bytes.Buffer
+	if err := r.srv.Persist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(nil2(), nil)
+	if err := fresh.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names := fresh.SeriesNames()
+	if len(names) != 2 {
+		t.Fatalf("restored series %v", names)
+	}
+}
+
+// nil2 builds a throwaway station for a standalone (never Run) server.
+func nil2() *proto.Station {
+	topo := simnet.NewTopology()
+	topo.AddHost("x", "1", "x", "d")
+	topo.AddHost("y", "2", "y", "d")
+	topo.Connect("x", "y")
+	sim := vclock.New()
+	tr := proto.NewSimTransport(simnet.NewNetwork(sim, topo))
+	ep, _ := tr.Open("x")
+	return proto.NewStation(tr.Runtime(), ep)
+}

@@ -1,0 +1,153 @@
+// Package nameserver implements the NWS name server: the directory every
+// other NWS process registers with and queries to locate its peers
+// (§2.1: "The name server keeps a directory of the system, allowing each
+// part to localize other existing servers").
+package nameserver
+
+import (
+	"strings"
+	"time"
+
+	"nwsenv/internal/nws/proto"
+)
+
+// DefaultTTL is applied to registrations that do not specify one.
+const DefaultTTL = 30 * time.Minute
+
+// Server is a running name server bound to a station.
+type Server struct {
+	st      proto.Port
+	entries map[string]proto.Registration
+}
+
+// New creates a name server on st. Call Run (usually via rt.Go) to serve.
+func New(st proto.Port) *Server {
+	return &Server{st: st, entries: map[string]proto.Registration{}}
+}
+
+// Run serves requests until the station closes.
+func (s *Server) Run() {
+	for {
+		req, ok := s.st.Recv()
+		if !ok {
+			return
+		}
+		switch req.Type {
+		case proto.MsgRegister:
+			s.handleRegister(req)
+		case proto.MsgUnregister:
+			delete(s.entries, req.Name)
+			s.st.Reply(req, proto.Message{Type: proto.MsgRegisterAck})
+		case proto.MsgLookup:
+			s.handleLookup(req)
+		case proto.MsgPing:
+			s.st.Reply(req, proto.Message{Type: proto.MsgPong})
+		default:
+			s.st.ReplyError(req, "nameserver: unexpected %v", req.Type)
+		}
+	}
+}
+
+func (s *Server) handleRegister(req proto.Message) {
+	reg := req.Reg
+	if reg.Name == "" {
+		s.st.ReplyError(req, "nameserver: empty registration name")
+		return
+	}
+	if reg.TTL <= 0 {
+		reg.TTL = DefaultTTL
+	}
+	reg.Expires = s.st.Runtime().Now() + reg.TTL
+	s.entries[reg.Name] = reg
+	s.st.Reply(req, proto.Message{Type: proto.MsgRegisterAck})
+}
+
+func (s *Server) handleLookup(req proto.Message) {
+	now := s.st.Runtime().Now()
+	var out []proto.Registration
+	if req.Name != "" {
+		if e, ok := s.entries[req.Name]; ok {
+			if e.Expires > now {
+				out = append(out, e)
+			} else {
+				delete(s.entries, req.Name)
+			}
+		}
+	} else {
+		// Kind and/or prefix search. Deterministic order: sort by name.
+		var names []string
+		for n := range s.entries {
+			names = append(names, n)
+		}
+		sortStrings(names)
+		for _, n := range names {
+			e := s.entries[n]
+			if e.Expires <= now {
+				delete(s.entries, n)
+				continue
+			}
+			if req.Kind != "" && e.Kind != req.Kind {
+				continue
+			}
+			if req.Series != "" && !strings.HasPrefix(n, req.Series) {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	s.st.Reply(req, proto.Message{Type: proto.MsgLookupReply, Regs: out})
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Client wraps the directory operations every NWS process needs.
+type Client struct {
+	St      proto.Port
+	NSHost  string
+	Timeout time.Duration
+}
+
+// NewClient returns a directory client talking to the name server on
+// nsHost.
+func NewClient(st proto.Port, nsHost string) *Client {
+	return &Client{St: st, NSHost: nsHost, Timeout: 10 * time.Second}
+}
+
+// Register creates or refreshes a directory entry.
+func (c *Client) Register(reg proto.Registration) error {
+	_, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgRegister, Reg: reg}, c.Timeout)
+	return err
+}
+
+// Unregister removes an entry by name.
+func (c *Client) Unregister(name string) error {
+	_, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgUnregister, Name: name}, c.Timeout)
+	return err
+}
+
+// LookupName finds the entry with exactly the given name.
+func (c *Client) LookupName(name string) (proto.Registration, bool, error) {
+	reply, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgLookup, Name: name}, c.Timeout)
+	if err != nil {
+		return proto.Registration{}, false, err
+	}
+	if len(reply.Regs) == 0 {
+		return proto.Registration{}, false, nil
+	}
+	return reply.Regs[0], true, nil
+}
+
+// LookupKind lists entries of a kind, optionally filtered by name prefix.
+func (c *Client) LookupKind(kind, prefix string) ([]proto.Registration, error) {
+	reply, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgLookup, Kind: kind, Series: prefix}, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Regs, nil
+}

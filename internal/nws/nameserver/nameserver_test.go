@@ -1,0 +1,168 @@
+package nameserver
+
+import (
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+// rig builds a 3-host LAN with a name server on "ns" and returns stations
+// for the other two hosts.
+func rig(t *testing.T) (*vclock.Sim, *proto.Station, *proto.Station) {
+	t.Helper()
+	topo := simnet.NewTopology()
+	topo.AddHost("ns", "10.0.0.1", "ns", "x")
+	topo.AddHost("h1", "10.0.0.2", "h1", "x")
+	topo.AddHost("h2", "10.0.0.3", "h2", "x")
+	topo.AddSwitch("sw")
+	topo.Connect("ns", "sw")
+	topo.Connect("h1", "sw")
+	topo.Connect("h2", "sw")
+	sim := vclock.New()
+	tr := proto.NewSimTransport(simnet.NewNetwork(sim, topo))
+	epNS, err := tr.Open("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, _ := tr.Open("h1")
+	ep2, _ := tr.Open("h2")
+	rt := tr.Runtime()
+	stNS := proto.NewStation(rt, epNS)
+	st1 := proto.NewStation(rt, ep1)
+	st2 := proto.NewStation(rt, ep2)
+	srv := New(stNS)
+	sim.Go("nameserver", srv.Run)
+	return sim, st1, st2
+}
+
+func run(t *testing.T, sim *vclock.Sim, fn func()) {
+	t.Helper()
+	sim.Go("test", fn)
+	if err := sim.RunUntil(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	sim, st1, st2 := rig(t)
+	run(t, sim, func() {
+		c1 := NewClient(st1, "ns")
+		c2 := NewClient(st2, "ns")
+		if err := c1.Register(proto.Registration{Name: "memory.h1", Kind: "memory", Host: "h1"}); err != nil {
+			t.Error(err)
+			return
+		}
+		reg, found, err := c2.LookupName("memory.h1")
+		if err != nil || !found {
+			t.Errorf("lookup: %v found=%v", err, found)
+			return
+		}
+		if reg.Host != "h1" || reg.Kind != "memory" {
+			t.Errorf("reg %+v", reg)
+		}
+	})
+}
+
+func TestLookupMissing(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		_, found, err := c.LookupName("nothing")
+		if err != nil {
+			t.Error(err)
+		}
+		if found {
+			t.Error("found nonexistent entry")
+		}
+	})
+}
+
+func TestLookupByKindSorted(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		c.Register(proto.Registration{Name: "sensor.h2", Kind: "sensor", Host: "h2"})
+		c.Register(proto.Registration{Name: "sensor.h1", Kind: "sensor", Host: "h1"})
+		c.Register(proto.Registration{Name: "memory.h1", Kind: "memory", Host: "h1"})
+		regs, err := c.LookupKind("sensor", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(regs) != 2 || regs[0].Name != "sensor.h1" || regs[1].Name != "sensor.h2" {
+			t.Errorf("regs %+v", regs)
+		}
+	})
+}
+
+func TestLookupByPrefix(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		c.Register(proto.Registration{Name: "bandwidth.a.b", Kind: "series", Host: "h1"})
+		c.Register(proto.Registration{Name: "bandwidth.a.c", Kind: "series", Host: "h1"})
+		c.Register(proto.Registration{Name: "latency.a.b", Kind: "series", Host: "h1"})
+		regs, err := c.LookupKind("series", "bandwidth.")
+		if err != nil || len(regs) != 2 {
+			t.Errorf("regs %+v err %v", regs, err)
+		}
+	})
+}
+
+func TestUnregister(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		c.Register(proto.Registration{Name: "x", Kind: "sensor", Host: "h1"})
+		if err := c.Unregister("x"); err != nil {
+			t.Error(err)
+		}
+		_, found, _ := c.LookupName("x")
+		if found {
+			t.Error("entry survived unregister")
+		}
+	})
+}
+
+func TestTTLExpiry(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		c.Register(proto.Registration{Name: "ephemeral", Kind: "sensor", Host: "h1", TTL: time.Minute})
+		if _, found, _ := c.LookupName("ephemeral"); !found {
+			t.Error("entry should exist before TTL")
+			return
+		}
+		st1.Runtime().Sleep(2 * time.Minute)
+		if _, found, _ := c.LookupName("ephemeral"); found {
+			t.Error("entry should have expired")
+		}
+	})
+}
+
+func TestReRegisterRefreshesTTL(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		c.Register(proto.Registration{Name: "e", Kind: "sensor", Host: "h1", TTL: time.Minute})
+		st1.Runtime().Sleep(45 * time.Second)
+		c.Register(proto.Registration{Name: "e", Kind: "sensor", Host: "h1", TTL: time.Minute})
+		st1.Runtime().Sleep(45 * time.Second)
+		if _, found, _ := c.LookupName("e"); !found {
+			t.Error("refreshed entry should still be alive")
+		}
+	})
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	sim, st1, _ := rig(t)
+	run(t, sim, func() {
+		c := NewClient(st1, "ns")
+		if err := c.Register(proto.Registration{Kind: "sensor", Host: "h1"}); err == nil {
+			t.Error("empty name should be rejected")
+		}
+	})
+}

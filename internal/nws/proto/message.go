@@ -1,0 +1,130 @@
+// Package proto defines the NWS wire protocol: the message vocabulary
+// exchanged between sensors, memory servers, forecasters and the name
+// server (§2.1), a request/reply station with correlation and timeouts,
+// and two interchangeable transports — a simulated one running on the
+// simnet/vclock substrate and a real TCP transport using encoding/gob
+// over loopback sockets.
+package proto
+
+import (
+	"time"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+const (
+	// Directory (name server).
+	MsgRegister MsgType = iota + 1
+	MsgRegisterAck
+	MsgUnregister
+	MsgLookup
+	MsgLookupReply
+
+	// Time-series storage (memory server).
+	MsgStore
+	MsgStoreAck
+	MsgFetch
+	MsgFetchReply
+
+	// Forecaster.
+	MsgForecast
+	MsgForecastReply
+
+	// Clique token-ring protocol.
+	MsgToken
+	MsgTokenAck
+	MsgElection
+	MsgElectionOK
+	MsgCoordinator
+
+	// Pairwise measurement scheduling (the §6 relaxation of cliques).
+	MsgProbeCmd
+	MsgProbeDone
+
+	// Liveness.
+	MsgPing
+	MsgPong
+)
+
+var msgNames = map[MsgType]string{
+	MsgRegister: "Register", MsgRegisterAck: "RegisterAck",
+	MsgUnregister: "Unregister",
+	MsgLookup:     "Lookup", MsgLookupReply: "LookupReply",
+	MsgStore: "Store", MsgStoreAck: "StoreAck",
+	MsgFetch: "Fetch", MsgFetchReply: "FetchReply",
+	MsgForecast: "Forecast", MsgForecastReply: "ForecastReply",
+	MsgToken: "Token", MsgTokenAck: "TokenAck",
+	MsgElection: "Election", MsgElectionOK: "ElectionOK",
+	MsgCoordinator: "Coordinator",
+	MsgProbeCmd:    "ProbeCmd", MsgProbeDone: "ProbeDone",
+	MsgPing: "Ping", MsgPong: "Pong",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return "MsgType(?)"
+}
+
+// Registration describes a directory entry in the name server.
+type Registration struct {
+	Name    string        // unique object name, e.g. "memory.host3" or a series name
+	Kind    string        // "sensor", "memory", "forecaster", "nameserver", "series", "clique"
+	Host    string        // host running the object (for series: the memory server's host)
+	Owner   string        // for series: the memory server name storing it
+	TTL     time.Duration // registration lifetime; refreshed by re-registering
+	Expires time.Duration // absolute virtual expiry (set by the name server)
+}
+
+// Sample is one time-series measurement.
+type Sample struct {
+	At    time.Duration // virtual timestamp
+	Value float64
+}
+
+// Message is the single flat wire message. Unused fields stay at their
+// zero values; a flat struct keeps gob encoding trivial and the protocol
+// easy to trace.
+type Message struct {
+	Type    MsgType
+	From    string // sending host
+	ID      int64  // request correlation id (unique per sender)
+	ReplyTo int64  // id of the request this message answers (0 = not a reply)
+	Error   string // non-empty on failure replies
+
+	// Directory fields.
+	Reg  Registration
+	Kind string // lookup filter
+	Name string // lookup filter / unregister target
+	Regs []Registration
+
+	// Series fields.
+	Series  string
+	Samples []Sample
+	Count   int
+
+	// Forecast fields.
+	Value  float64
+	MAE    float64
+	MSE    float64
+	Method string
+
+	// Clique fields.
+	Clique   string
+	TokenSeq int64
+	Epoch    int64 // election epoch
+}
+
+// WireSize is a rough size estimate used by the simulated transport to
+// charge serialization delay for control messages.
+func (m *Message) WireSize() int64 {
+	n := int64(128)
+	n += int64(len(m.From) + len(m.Error) + len(m.Kind) + len(m.Name) + len(m.Series) + len(m.Method) + len(m.Clique))
+	n += int64(len(m.Samples)) * 16
+	for _, r := range append(m.Regs, m.Reg) {
+		n += int64(len(r.Name)+len(r.Kind)+len(r.Host)+len(r.Owner)) + 16
+	}
+	return n
+}

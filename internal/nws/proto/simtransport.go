@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"fmt"
+	"sync"
+
+	"nwsenv/internal/simnet"
+)
+
+// SimTransport delivers messages over a simnet.Network: each message is
+// charged the one-way path latency plus serialization of its estimated
+// wire size; firewall zones apply. Host endpoints can be taken down and
+// brought back up to inject failures.
+type SimTransport struct {
+	net *simnet.Network
+	rt  *SimRuntime
+
+	mu      sync.Mutex
+	eps     map[string]*simEndpoint
+	down    map[string]bool
+	blocked map[string]bool // "a|b" unordered pair -> messages dropped
+}
+
+// NewSimTransport builds a transport over net.
+func NewSimTransport(net *simnet.Network) *SimTransport {
+	return &SimTransport{
+		net:     net,
+		rt:      NewSimRuntime(net.Sim()),
+		eps:     map[string]*simEndpoint{},
+		down:    map[string]bool{},
+		blocked: map[string]bool{},
+	}
+}
+
+// Runtime implements Transport.
+func (t *SimTransport) Runtime() Runtime { return t.rt }
+
+// Network returns the underlying simulated network.
+func (t *SimTransport) Network() *simnet.Network { return t.net }
+
+// Open implements Transport.
+func (t *SimTransport) Open(host string) (Endpoint, error) {
+	if n := t.net.Topology().Node(host); n == nil || n.Kind != simnet.Host {
+		return nil, fmt.Errorf("proto: no such host %q", host)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, busy := t.eps[host]; busy {
+		return nil, fmt.Errorf("proto: endpoint %q already open", host)
+	}
+	ep := &simEndpoint{t: t, host: host, inbox: t.rt.NewInbox("ep:" + host)}
+	t.eps[host] = ep
+	return ep, nil
+}
+
+// SetDown marks a host as crashed: its endpoint stops receiving and its
+// sends fail silently (packets to and from it are dropped).
+func (t *SimTransport) SetDown(host string, down bool) {
+	t.mu.Lock()
+	t.down[host] = down
+	t.mu.Unlock()
+}
+
+// IsDown reports the failure state of a host.
+func (t *SimTransport) IsDown(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down[host]
+}
+
+// SetBlocked partitions (or heals) the control-plane path between two
+// hosts: messages in either direction silently vanish. Used to inject
+// network partitions without killing hosts.
+func (t *SimTransport) SetBlocked(a, b string, blocked bool) {
+	if a > b {
+		a, b = b, a
+	}
+	t.mu.Lock()
+	if blocked {
+		t.blocked[a+"|"+b] = true
+	} else {
+		delete(t.blocked, a+"|"+b)
+	}
+	t.mu.Unlock()
+}
+
+func (t *SimTransport) isBlocked(a, b string) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return t.blocked[a+"|"+b]
+}
+
+type simEndpoint struct {
+	t     *SimTransport
+	host  string
+	inbox Inbox
+}
+
+func (e *simEndpoint) Host() string { return e.host }
+func (e *simEndpoint) Inbox() Inbox { return e.inbox }
+
+func (e *simEndpoint) Send(to string, m Message) error {
+	t := e.t
+	t.mu.Lock()
+	srcDown, dstDown := t.down[e.host], t.down[to]
+	pairBlocked := t.isBlocked(e.host, to)
+	t.mu.Unlock()
+	if srcDown {
+		return fmt.Errorf("proto: host %s is down", e.host)
+	}
+	// A partition drops traffic silently: the sender only learns through
+	// timeouts.
+	if pairBlocked {
+		return nil
+	}
+	if to == e.host {
+		// Local delivery, no network.
+		e.inbox.Send(m)
+		return nil
+	}
+	// Messages to dead hosts vanish (like packets to a crashed machine):
+	// the sender notices only through timeouts, as with real NWS.
+	if dstDown {
+		return nil
+	}
+	return t.net.Deliver(e.host, to, m.WireSize(), func() {
+		t.mu.Lock()
+		dst := t.eps[to]
+		deadNow := t.down[to]
+		t.mu.Unlock()
+		if dst == nil || deadNow {
+			return
+		}
+		dst.inbox.Send(m)
+	})
+}
+
+func (e *simEndpoint) Close() error {
+	t := e.t
+	t.mu.Lock()
+	delete(t.eps, e.host)
+	t.mu.Unlock()
+	e.inbox.Close()
+	return nil
+}

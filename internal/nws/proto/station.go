@@ -1,0 +1,182 @@
+package proto
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Transport delivers messages between named hosts.
+type Transport interface {
+	// Runtime returns the time/concurrency substrate the transport uses.
+	Runtime() Runtime
+	// Open claims the endpoint for host. Each host endpoint may be opened
+	// once at a time.
+	Open(host string) (Endpoint, error)
+}
+
+// Endpoint is one host's attachment to the transport.
+type Endpoint interface {
+	Host() string
+	// Send delivers m to the endpoint of the named host (asynchronous,
+	// at-most-once; delivery fails silently if the peer is down).
+	Send(to string, m Message) error
+	// Inbox receives every message addressed to this host.
+	Inbox() Inbox
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Station layers request/reply correlation on an Endpoint. Application
+// messages (requests and one-way messages) arrive through Recv; replies
+// to outstanding Call invocations are routed to the caller. A Station is
+// the communication object every NWS server is built on.
+type Station struct {
+	rt Runtime
+	ep Endpoint
+
+	mu      sync.Mutex
+	nextID  int64
+	pending map[int64]Inbox
+	app     Inbox
+	closed  bool
+}
+
+// NewStation wraps ep and starts the demultiplexing pump.
+func NewStation(rt Runtime, ep Endpoint) *Station {
+	s := &Station{
+		rt:      rt,
+		ep:      ep,
+		pending: map[int64]Inbox{},
+		app:     rt.NewInbox("app:" + ep.Host()),
+	}
+	rt.Go("station:"+ep.Host(), s.pump)
+	return s
+}
+
+// Host returns the endpoint's host name.
+func (s *Station) Host() string { return s.ep.Host() }
+
+// Runtime returns the station's runtime.
+func (s *Station) Runtime() Runtime { return s.rt }
+
+func (s *Station) pump() {
+	for {
+		m, ok := s.ep.Inbox().Recv()
+		if !ok {
+			s.app.Close()
+			return
+		}
+		if m.ReplyTo != 0 {
+			s.mu.Lock()
+			box := s.pending[m.ReplyTo]
+			delete(s.pending, m.ReplyTo)
+			s.mu.Unlock()
+			if box != nil {
+				box.Send(m)
+				continue
+			}
+			// Late reply after timeout: drop.
+			continue
+		}
+		s.app.Send(m)
+	}
+}
+
+func (s *Station) newID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
+// Send transmits a one-way message (no reply expected).
+func (s *Station) Send(to string, m Message) error {
+	m.From = s.ep.Host()
+	if m.ID == 0 {
+		m.ID = s.newID()
+	}
+	return s.ep.Send(to, m)
+}
+
+// Call sends a request and blocks the calling process until the matching
+// reply arrives or the timeout expires.
+func (s *Station) Call(to string, m Message, timeout time.Duration) (Message, error) {
+	m.From = s.ep.Host()
+	m.ID = s.newID()
+	box := s.rt.NewInbox(fmt.Sprintf("call:%s:%d", s.ep.Host(), m.ID))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Message{}, fmt.Errorf("proto: station %s closed", s.ep.Host())
+	}
+	s.pending[m.ID] = box
+	s.mu.Unlock()
+	if err := s.ep.Send(to, m); err != nil {
+		s.mu.Lock()
+		delete(s.pending, m.ID)
+		s.mu.Unlock()
+		return Message{}, err
+	}
+	reply, ok := box.RecvTimeout(timeout)
+	if !ok {
+		s.mu.Lock()
+		delete(s.pending, m.ID)
+		s.mu.Unlock()
+		return Message{}, fmt.Errorf("proto: %s: call %v to %s timed out after %v", s.ep.Host(), m.Type, to, timeout)
+	}
+	if reply.Error != "" {
+		return reply, fmt.Errorf("proto: %s replied: %s", to, reply.Error)
+	}
+	return reply, nil
+}
+
+// Reply answers request req with m.
+func (s *Station) Reply(req Message, m Message) error {
+	m.From = s.ep.Host()
+	m.ReplyTo = req.ID
+	return s.ep.Send(req.From, m)
+}
+
+// ReplyError answers request req with an error.
+func (s *Station) ReplyError(req Message, format string, args ...interface{}) error {
+	return s.Reply(req, Message{Type: req.Type, Error: fmt.Sprintf(format, args...)})
+}
+
+// Recv returns the next application (non-reply) message.
+func (s *Station) Recv() (Message, bool) { return s.app.Recv() }
+
+// RecvTimeout is Recv with a timeout.
+func (s *Station) RecvTimeout(d time.Duration) (Message, bool) {
+	return s.app.RecvTimeout(d)
+}
+
+// Close detaches the endpoint and releases all waiters.
+func (s *Station) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for id, box := range s.pending {
+		box.Close()
+		delete(s.pending, id)
+	}
+	s.mu.Unlock()
+	return s.ep.Close()
+}
+
+// Port is the communication surface an NWS role (name server, memory
+// server, forecaster, clique member, sensor) is written against. A
+// Station is a Port; a host agent multiplexing several roles onto one
+// station hands each role a Port routing its share of the traffic.
+type Port interface {
+	Host() string
+	Runtime() Runtime
+	Send(to string, m Message) error
+	Call(to string, m Message, timeout time.Duration) (Message, error)
+	Reply(req Message, m Message) error
+	ReplyError(req Message, format string, args ...interface{}) error
+	Recv() (Message, bool)
+	RecvTimeout(d time.Duration) (Message, bool)
+	Close() error
+}
+
+var _ Port = (*Station)(nil)

@@ -1,0 +1,200 @@
+package proto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPTransport delivers messages between hosts over real TCP sockets on
+// the local machine, with gob encoding. Host names are mapped to listen
+// addresses by an internal registry filled as endpoints open. It is the
+// deployment path proving the NWS components run on the plain standard
+// library network stack, not only in simulation.
+type TCPTransport struct {
+	rt Runtime
+
+	mu    sync.Mutex
+	addrs map[string]string // host -> "127.0.0.1:port"
+	eps   map[string]*tcpEndpoint
+}
+
+// NewTCPTransport returns a transport using real time.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{
+		rt:    NewRealRuntime(),
+		addrs: map[string]string{},
+		eps:   map[string]*tcpEndpoint{},
+	}
+}
+
+// Runtime implements Transport.
+func (t *TCPTransport) Runtime() Runtime { return t.rt }
+
+// Open implements Transport: it binds a loopback listener for host.
+func (t *TCPTransport) Open(host string) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, busy := t.eps[host]; busy {
+		return nil, fmt.Errorf("proto: endpoint %q already open", host)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ep := &tcpEndpoint{
+		t:        t,
+		host:     host,
+		ln:       ln,
+		inbox:    t.rt.NewInbox("tcp:" + host),
+		conns:    map[string]*outConn{},
+		accepted: map[net.Conn]struct{}{},
+	}
+	t.addrs[host] = ln.Addr().String()
+	t.eps[host] = ep
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the listen address registered for host.
+func (t *TCPTransport) Addr(host string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[host]
+	return a, ok
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type tcpEndpoint struct {
+	t    *TCPTransport
+	host string
+	ln   net.Listener
+
+	inbox Inbox
+
+	mu       sync.Mutex
+	conns    map[string]*outConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+}
+
+func (e *tcpEndpoint) Host() string { return e.host }
+func (e *tcpEndpoint) Inbox() Inbox { return e.inbox }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accepted[c] = struct{}{}
+		e.mu.Unlock()
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.accepted, c)
+		e.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		e.inbox.Send(m)
+	}
+}
+
+func (e *tcpEndpoint) Send(to string, m Message) error {
+	if to == e.host {
+		e.inbox.Send(m)
+		return nil
+	}
+	e.t.mu.Lock()
+	addr, ok := e.t.addrs[to]
+	e.t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("proto: unknown host %q", to)
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("proto: endpoint %s closed", e.host)
+	}
+	oc := e.conns[to]
+	if oc == nil {
+		oc = &outConn{}
+		e.conns[to] = oc
+	}
+	e.mu.Unlock()
+
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.conn == nil {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		oc.conn = c
+		oc.enc = gob.NewEncoder(c)
+	}
+	if err := oc.enc.Encode(&m); err != nil {
+		oc.conn.Close()
+		oc.conn, oc.enc = nil, nil
+		return err
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[string]*outConn{}
+	// Closing accepted connections makes peers' cached outbound
+	// connections fail fast, so they re-dial the host's next incarnation
+	// instead of writing into a zombie socket.
+	for c := range e.accepted {
+		c.Close()
+	}
+	e.accepted = map[net.Conn]struct{}{}
+	e.mu.Unlock()
+
+	e.t.mu.Lock()
+	delete(e.t.eps, e.host)
+	delete(e.t.addrs, e.host)
+	e.t.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, oc := range conns {
+		oc.mu.Lock()
+		if oc.conn != nil {
+			oc.conn.Close()
+		}
+		oc.mu.Unlock()
+	}
+	e.inbox.Close()
+	return err
+}

@@ -1,0 +1,467 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nwsenv/internal/vclock"
+)
+
+// completionEps is the residual byte count below which a flow is complete.
+const completionEps = 1e-3
+
+// TransferStats describes a completed bulk transfer.
+type TransferStats struct {
+	Src, Dst string
+	Tag      string
+	Bytes    int64
+	// Start/End bound the data phase (after the one-way path latency).
+	Start, End time.Duration
+	// Duration = End - Start.
+	Duration time.Duration
+	// AvgBps is the achieved throughput in bits per second.
+	AvgBps float64
+	// AloneBps is the ground-truth throughput the flow would have achieved
+	// with no competing traffic.
+	AloneBps float64
+}
+
+// CollisionEvent records two tagged probe flows competing for a resource —
+// exactly the situation the NWS clique protocol exists to prevent (§2.3).
+type CollisionEvent struct {
+	At       time.Duration
+	TagA     string
+	TagB     string
+	Resource string
+}
+
+type resource struct {
+	key string
+	cap float64 // bytes per second
+}
+
+type flow struct {
+	id        int64
+	src, dst  string
+	tag       string
+	bytes     float64
+	remaining float64
+	rate      float64 // bytes per second
+	res       []*resource
+	done      *vclock.Chan[TransferStats]
+	started   time.Duration
+	aloneBps  float64
+}
+
+// Network executes transfers over a Topology in virtual time, sharing
+// capacity among concurrent flows by max-min fairness.
+type Network struct {
+	sim  *vclock.Sim
+	topo *Topology
+
+	mu         sync.Mutex
+	nextFlowID int64
+	flows      []*flow
+	resources  map[string]*resource
+	lastSettle time.Duration
+	completion *vclock.Event
+
+	records    []TransferStats
+	collisions []CollisionEvent
+	probeBytes map[string]int64 // bytes transferred per tag
+	probeCount map[string]int
+}
+
+// NewNetwork binds a topology to a simulation.
+func NewNetwork(sim *vclock.Sim, topo *Topology) *Network {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		sim:        sim,
+		topo:       topo,
+		resources:  map[string]*resource{},
+		probeBytes: map[string]int64{},
+		probeCount: map[string]int{},
+	}
+}
+
+// Sim returns the simulation driving this network.
+func (n *Network) Sim() *vclock.Sim { return n.sim }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *Topology { return n.topo }
+
+func (n *Network) resourceFor(key string, capBits float64) *resource {
+	if r, ok := n.resources[key]; ok {
+		return r
+	}
+	r := &resource{key: key, cap: capBits / 8}
+	n.resources[key] = r
+	return r
+}
+
+// pathResources builds the ordered resource list a flow consumes: one per
+// directed link hop plus one per traversed hub collision domain.
+func (n *Network) pathResources(path []string) []*resource {
+	var out []*resource
+	for i := 0; i+1 < len(path); i++ {
+		l := n.topo.findLink(path[i], path[i+1])
+		var c float64
+		if l.A == path[i] {
+			c = l.BWAtoB
+		} else {
+			c = l.BWBtoA
+		}
+		out = append(out, n.resourceFor("edge:"+path[i]+"->"+path[i+1], c))
+	}
+	for _, id := range path {
+		if node := n.topo.Node(id); node.Kind == Hub {
+			out = append(out, n.resourceFor("hub:"+id, node.HubCapacity))
+		}
+	}
+	return out
+}
+
+func (n *Network) checkEndpoints(src, dst string) error {
+	a, b := n.topo.Node(src), n.topo.Node(dst)
+	if a == nil || b == nil {
+		return fmt.Errorf("simnet: unknown endpoint %s or %s", src, dst)
+	}
+	if a.Kind != Host || b.Kind != Host {
+		return fmt.Errorf("simnet: transfer endpoints must be hosts (%s is %s, %s is %s)", src, a.Kind, dst, b.Kind)
+	}
+	if !a.SharesZone(b) {
+		return fmt.Errorf("simnet: firewall: %s and %s share no zone", src, dst)
+	}
+	return nil
+}
+
+// Transfer moves bytes from src to dst, blocking the calling process in
+// virtual time for the path latency plus the contention-dependent data
+// phase. A non-empty tag marks the flow as a measurement probe for
+// collision accounting. Must be called from a simulation process.
+func (n *Network) Transfer(src, dst string, bytes int64, tag string) (TransferStats, error) {
+	if err := n.checkEndpoints(src, dst); err != nil {
+		return TransferStats{}, err
+	}
+	if src == dst {
+		return TransferStats{}, fmt.Errorf("simnet: transfer to self (%s)", src)
+	}
+	lat, err := n.topo.PathLatency(src, dst)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	path, _ := n.topo.Path(src, dst)
+	alone, _ := n.topo.AloneBandwidth(src, dst)
+	if bytes <= 0 {
+		bytes = 1
+	}
+
+	n.sim.Sleep(lat)
+
+	f := &flow{
+		src: src, dst: dst, tag: tag,
+		bytes: float64(bytes), remaining: float64(bytes),
+		done:     vclock.NewChan[TransferStats](n.sim, "xfer:"+src+"->"+dst),
+		started:  n.sim.Now(),
+		aloneBps: alone,
+	}
+
+	n.mu.Lock()
+	n.nextFlowID++
+	f.id = n.nextFlowID
+	f.res = n.pathResources(path)
+	n.settleLocked()
+	if tag != "" {
+		n.noteCollisionsLocked(f)
+		n.probeBytes[tag] += bytes
+		n.probeCount[tag]++
+	}
+	n.flows = append(n.flows, f)
+	n.recomputeLocked()
+	n.mu.Unlock()
+
+	stats, _ := f.done.Recv()
+	return stats, nil
+}
+
+// Latency returns the one-way path latency from src to dst.
+func (n *Network) Latency(src, dst string) (time.Duration, error) {
+	return n.topo.PathLatency(src, dst)
+}
+
+// Ping blocks the calling process for a full round trip of a small
+// message of the given size (request out, acknowledgment back) and
+// returns the measured RTT. This is the NWS latency experiment (§2.2:
+// "a 4 byte TCP socket transfer is timed from one host to another one
+// and back").
+func (n *Network) Ping(src, dst string, bytes int64) (time.Duration, error) {
+	if err := n.checkEndpoints(src, dst); err != nil {
+		return 0, err
+	}
+	fwd, err := n.topo.PathLatency(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	back, err := n.topo.PathLatency(dst, src)
+	if err != nil {
+		return 0, err
+	}
+	ser := n.serialization(src, dst, bytes)
+	start := n.sim.Now()
+	n.sim.Sleep(fwd + ser + back)
+	return n.sim.Now() - start, nil
+}
+
+// ConnectTime blocks for a TCP three-way handshake (1.5 RTT) and returns
+// its duration (§2.2: "TCP socket connect-disconnect time is measured
+// directly").
+func (n *Network) ConnectTime(src, dst string) (time.Duration, error) {
+	if err := n.checkEndpoints(src, dst); err != nil {
+		return 0, err
+	}
+	fwd, err := n.topo.PathLatency(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	back, err := n.topo.PathLatency(dst, src)
+	if err != nil {
+		return 0, err
+	}
+	start := n.sim.Now()
+	n.sim.Sleep(fwd + back + fwd) // SYN, SYN-ACK, ACK observed by the client
+	return n.sim.Now() - start, nil
+}
+
+// serialization approximates the transmission delay for a small message.
+func (n *Network) serialization(src, dst string, bytes int64) time.Duration {
+	bw, err := n.topo.AloneBandwidth(src, dst)
+	if err != nil || bw <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes*8) / bw * float64(time.Second))
+}
+
+// Deliver schedules fn to run after the one-way message delay from src to
+// dst (latency plus serialization of bytes). It is the primitive used by
+// the NWS control-plane transport; control messages are assumed too small
+// to contend for bandwidth.
+func (n *Network) Deliver(src, dst string, bytes int64, fn func()) error {
+	if err := n.checkEndpoints(src, dst); err != nil {
+		return err
+	}
+	lat, err := n.topo.PathLatency(src, dst)
+	if err != nil {
+		return err
+	}
+	n.sim.After(lat+n.serialization(src, dst, bytes), fn)
+	return nil
+}
+
+// settleLocked advances every active flow's progress to the current time.
+func (n *Network) settleLocked() {
+	now := n.sim.Now()
+	dt := (now - n.lastSettle).Seconds()
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.remaining -= f.rate * dt
+		}
+	}
+	n.lastSettle = now
+}
+
+// noteCollisionsLocked records probe-vs-probe contention created by adding f.
+func (n *Network) noteCollisionsLocked(f *flow) {
+	for _, g := range n.flows {
+		if g.tag == "" {
+			continue
+		}
+		for _, rf := range f.res {
+			shared := false
+			for _, rg := range g.res {
+				if rf == rg {
+					n.collisions = append(n.collisions, CollisionEvent{
+						At: n.sim.Now(), TagA: g.tag, TagB: f.tag, Resource: rf.key,
+					})
+					shared = true
+					break
+				}
+			}
+			if shared {
+				break
+			}
+		}
+	}
+}
+
+// recomputeLocked reassigns max-min fair rates and schedules the next
+// completion event.
+func (n *Network) recomputeLocked() {
+	// Progressive filling.
+	capLeft := map[*resource]float64{}
+	load := map[*resource]int{}
+	for _, f := range n.flows {
+		f.rate = 0
+		for _, r := range f.res {
+			if _, ok := capLeft[r]; !ok {
+				capLeft[r] = r.cap
+			}
+			load[r]++
+		}
+	}
+	unfrozen := make([]*flow, len(n.flows))
+	copy(unfrozen, n.flows)
+	for len(unfrozen) > 0 {
+		inc := math.Inf(1)
+		for r, cnt := range load {
+			if cnt <= 0 {
+				continue
+			}
+			if share := capLeft[r] / float64(cnt); share < inc {
+				inc = share
+			}
+		}
+		if math.IsInf(inc, 1) || inc <= 0 {
+			// No constraining resource (or float exhaustion): freeze rest.
+			break
+		}
+		for _, f := range unfrozen {
+			f.rate += inc
+		}
+		for r, cnt := range load {
+			if cnt > 0 {
+				capLeft[r] -= inc * float64(cnt)
+			}
+		}
+		var still []*flow
+		for _, f := range unfrozen {
+			frozen := false
+			for _, r := range f.res {
+				if capLeft[r] <= 1e-9*r.cap {
+					frozen = true
+					break
+				}
+			}
+			if frozen {
+				for _, r := range f.res {
+					load[r]--
+				}
+			} else {
+				still = append(still, f)
+			}
+		}
+		unfrozen = still
+	}
+
+	// Schedule the earliest completion.
+	if n.completion != nil {
+		n.completion.Cancel()
+		n.completion = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	soonest := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	delay := time.Duration(math.Ceil(soonest * float64(time.Second)))
+	n.completion = n.sim.After(delay, n.onCompletion)
+}
+
+func (n *Network) onCompletion() {
+	n.mu.Lock()
+	n.settleLocked()
+	var remaining []*flow
+	var finished []*flow
+	for _, f := range n.flows {
+		if f.remaining <= completionEps {
+			finished = append(finished, f)
+		} else {
+			remaining = append(remaining, f)
+		}
+	}
+	n.flows = remaining
+	now := n.sim.Now()
+	var stats []TransferStats
+	for _, f := range finished {
+		dur := now - f.started
+		var bps float64
+		if dur > 0 {
+			bps = f.bytes * 8 / dur.Seconds()
+		} else {
+			bps = f.aloneBps
+		}
+		st := TransferStats{
+			Src: f.src, Dst: f.dst, Tag: f.tag, Bytes: int64(f.bytes),
+			Start: f.started, End: now, Duration: dur,
+			AvgBps: bps, AloneBps: f.aloneBps,
+		}
+		n.records = append(n.records, st)
+		stats = append(stats, st)
+	}
+	n.recomputeLocked()
+	n.mu.Unlock()
+	for i, f := range finished {
+		f.done.Send(stats[i])
+	}
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (n *Network) ActiveFlows() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.flows)
+}
+
+// Records returns all completed transfer statistics, in completion order.
+func (n *Network) Records() []TransferStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]TransferStats(nil), n.records...)
+}
+
+// Collisions returns all probe-vs-probe contention events.
+func (n *Network) Collisions() []CollisionEvent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]CollisionEvent(nil), n.collisions...)
+}
+
+// ProbeTraffic reports total probe bytes and probe count per tag prefix.
+func (n *Network) ProbeTraffic() (bytes int64, count int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, b := range n.probeBytes {
+		bytes += b
+	}
+	for _, c := range n.probeCount {
+		count += c
+	}
+	return bytes, count
+}
+
+// ResetAccounting clears records, collisions and probe counters (used
+// between experiment phases).
+func (n *Network) ResetAccounting() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.records = nil
+	n.collisions = nil
+	n.probeBytes = map[string]int64{}
+	n.probeCount = map[string]int{}
+}

@@ -1,0 +1,215 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nwsenv/internal/vclock"
+)
+
+// randomLAN builds a rooted LAN with a mix of hub and switch subnets
+// (local copy to avoid an import cycle with internal/topo).
+func randomLAN(seed int64, subnets, hostsPer int) (*Topology, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTopology()
+	t.AddRouter("root", "10.255.0.254", "root")
+	var hosts []string
+	for s := 0; s < subnets; s++ {
+		segID := fmt.Sprintf("seg%d", s)
+		rID := fmt.Sprintf("r%d", s)
+		t.AddRouter(rID, fmt.Sprintf("10.%d.0.254", s), rID)
+		up := 100 * Mbps
+		if rng.Intn(3) == 0 {
+			up = 10 * Mbps
+		}
+		t.Connect(rID, "root", LinkBW(up))
+		if rng.Intn(2) == 0 {
+			t.AddHub(segID, 100*Mbps)
+		} else {
+			t.AddSwitch(segID)
+		}
+		t.Connect(segID, rID)
+		for h := 0; h < hostsPer; h++ {
+			id := fmt.Sprintf("h%d-%d", s, h)
+			t.AddHost(id, fmt.Sprintf("10.%d.0.%d", s, h+1), id, "lan")
+			t.Connect(id, segID)
+			hosts = append(hosts, id)
+		}
+	}
+	return t, hosts
+}
+
+// TestPropertyFlowNeverExceedsAloneBandwidth: under arbitrary concurrent
+// load, no flow's achieved average rate exceeds what it would get alone
+// (max-min shares can only shrink under contention), and no flow
+// finishes faster than its solo time.
+func TestPropertyFlowNeverExceedsAloneBandwidth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo, hosts := randomLAN(seed, 2+rng.Intn(3), 2+rng.Intn(3))
+		sim := vclock.New()
+		net := NewNetwork(sim, topo)
+		nflows := 2 + rng.Intn(8)
+		ok := true
+		for i := 0; i < nflows; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			bytes := int64(1+rng.Intn(20)) * 500_000
+			delay := time.Duration(rng.Intn(50)) * time.Millisecond
+			sim.Go("flow", func() {
+				sim.Sleep(delay)
+				st, err := net.Transfer(src, dst, bytes, "")
+				if err != nil {
+					return
+				}
+				alone, _ := topo.AloneBandwidth(src, dst)
+				if st.AvgBps > alone*1.001 {
+					ok = false
+				}
+				lat, _ := topo.PathLatency(src, dst)
+				minDur := time.Duration(float64(bytes*8) / alone * float64(time.Second))
+				if st.Duration+lat < minDur-time.Millisecond {
+					ok = false
+				}
+			})
+		}
+		if err := sim.RunUntil(time.Hour); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFairShareEqualFlows: k identical flows over one bottleneck
+// each get cap/k and finish together.
+func TestPropertyFairShareEqualFlows(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		k := 2 + rng.Intn(6)
+		topo := NewTopology()
+		topo.AddSwitch("swA")
+		topo.AddSwitch("swB")
+		topo.AddRouter("rA", "1", "rA")
+		topo.AddRouter("rB", "2", "rB")
+		topo.Connect("swA", "rA")
+		topo.Connect("rA", "rB", LinkBW(50*Mbps)) // shared bottleneck
+		topo.Connect("rB", "swB")
+		for i := 0; i < k; i++ {
+			topo.AddHost(fmt.Sprintf("s%d", i), fmt.Sprintf("10.0.0.%d", i+1), "", "x")
+			topo.AddHost(fmt.Sprintf("d%d", i), fmt.Sprintf("10.0.1.%d", i+1), "", "x")
+			topo.Connect(fmt.Sprintf("s%d", i), "swA")
+			topo.Connect(fmt.Sprintf("d%d", i), "swB")
+		}
+		sim := vclock.New()
+		net := NewNetwork(sim, topo)
+		rates := make([]float64, k)
+		ends := make([]time.Duration, k)
+		for i := 0; i < k; i++ {
+			i := i
+			sim.Go("f", func() {
+				st, err := net.Transfer(fmt.Sprintf("s%d", i), fmt.Sprintf("d%d", i), 5_000_000, "")
+				if err == nil {
+					rates[i] = st.AvgBps
+					ends[i] = st.End
+				}
+			})
+		}
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		want := 50 * Mbps / float64(k)
+		for i := 0; i < k; i++ {
+			if rates[i] < want*0.98 || rates[i] > want*1.02 {
+				return false
+			}
+			if ends[i] != ends[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRoutingTotalLatency: the routed path's latency equals the
+// sum of its per-hop latencies, and paths are well-formed (consecutive
+// nodes are linked, endpoints correct).
+func TestPropertyRoutingWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		topo, hosts := randomLAN(seed, 3, 3)
+		for i := 0; i < len(hosts); i++ {
+			for j := 0; j < len(hosts); j++ {
+				if i == j {
+					continue
+				}
+				p, err := topo.Path(hosts[i], hosts[j])
+				if err != nil {
+					return false
+				}
+				if p[0] != hosts[i] || p[len(p)-1] != hosts[j] {
+					return false
+				}
+				var total time.Duration
+				for k := 0; k+1 < len(p); k++ {
+					l := topo.findLink(p[k], p[k+1])
+					if l == nil {
+						return false
+					}
+					if l.A == p[k] {
+						total += l.LatAtoB
+					} else {
+						total += l.LatBtoA
+					}
+				}
+				got, err := topo.PathLatency(hosts[i], hosts[j])
+				if err != nil || got != total {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySharedResourcesSymmetric: resource sharing is a symmetric
+// predicate and every path conflicts with itself.
+func TestPropertySharedResourcesSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		topo, hosts := randomLAN(seed, 2, 3)
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 10; trial++ {
+			a, b := hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))]
+			c, d := hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))]
+			if a == b || c == d {
+				continue
+			}
+			s1, e1 := topo.SharedResources(a, b, c, d)
+			s2, e2 := topo.SharedResources(c, d, a, b)
+			if (e1 == nil) != (e2 == nil) || s1 != s2 {
+				return false
+			}
+			self, err := topo.SharedResources(a, b, a, b)
+			if err != nil || !self {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,510 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// defaultLink values applied when a Connect option does not override them.
+const (
+	defaultBW      = 100 * 1e6 // 100 Mbps
+	defaultLatency = 250 * time.Microsecond
+)
+
+// Topology is a static network description. Build it with the Add* and
+// Connect methods, then hand it to NewNetwork. A Topology is immutable
+// once a Network runs on it.
+type Topology struct {
+	nodes map[string]*Node
+	order []string // creation order, for deterministic iteration
+	links []*Link
+	// adj[node] lists link indices touching the node.
+	adj map[string][]int
+	// routeOverride maps "src->dst" to an explicit node path.
+	routeOverride map[string][]string
+	// ExternalTarget names the node ENV traceroutes target to discover the
+	// way out of the platform (§4.2.1.3).
+	ExternalTarget string
+
+	routeCache map[string][]string
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		nodes:         map[string]*Node{},
+		adj:           map[string][]int{},
+		routeOverride: map[string][]string{},
+		routeCache:    map[string][]string{},
+	}
+}
+
+func (t *Topology) addNode(n *Node) *Node {
+	if _, dup := t.nodes[n.ID]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", n.ID))
+	}
+	if len(n.Zones) == 0 {
+		n.Zones = []string{"default"}
+	}
+	t.nodes[n.ID] = n
+	t.order = append(t.order, n.ID)
+	return n
+}
+
+// AddHost adds an end system. The DNS name may be empty (see WithNoDNS on
+// routers; for hosts simply pass "").
+func (t *Topology) AddHost(id, ip, dns, domain string, opts ...NodeOption) *Node {
+	n := &Node{ID: id, Kind: Host, IP: ip, DNS: dns, Domain: domain, TracerouteResponds: true}
+	for _, o := range opts {
+		o(n)
+	}
+	return t.addNode(n)
+}
+
+// AddRouter adds a layer-3 router, visible to traceroute.
+func (t *Topology) AddRouter(id, ip, dns string, opts ...NodeOption) *Node {
+	n := &Node{ID: id, Kind: Router, IP: ip, DNS: dns, TracerouteResponds: true}
+	for _, o := range opts {
+		o(n)
+	}
+	return t.addNode(n)
+}
+
+// AddSwitch adds a layer-2 switch (invisible to traceroute, no shared
+// collision domain).
+func (t *Topology) AddSwitch(id string, opts ...NodeOption) *Node {
+	n := &Node{ID: id, Kind: Switch}
+	for _, o := range opts {
+		o(n)
+	}
+	return t.addNode(n)
+}
+
+// AddHub adds a layer-2 hub whose ports share a single half-duplex
+// collision domain of the given capacity (bits/s).
+func (t *Topology) AddHub(id string, capacity float64, opts ...NodeOption) *Node {
+	n := &Node{ID: id, Kind: Hub, HubCapacity: capacity}
+	for _, o := range opts {
+		o(n)
+	}
+	return t.addNode(n)
+}
+
+// Node returns the node with the given ID, or nil.
+func (t *Topology) Node(id string) *Node { return t.nodes[id] }
+
+// Nodes returns all nodes in creation order.
+func (t *Topology) Nodes() []*Node {
+	out := make([]*Node, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, t.nodes[id])
+	}
+	return out
+}
+
+// Hosts returns all Host nodes in creation order.
+func (t *Topology) Hosts() []*Node {
+	var out []*Node
+	for _, id := range t.order {
+		if n := t.nodes[id]; n.Kind == Host {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HostIDs returns the IDs of all hosts in creation order.
+func (t *Topology) HostIDs() []string {
+	var out []string
+	for _, n := range t.Hosts() {
+		out = append(out, n.ID)
+	}
+	return out
+}
+
+// Connect links nodes a and b. Defaults: 100 Mbps symmetric, 250 µs
+// one-way latency, all VLANs.
+func (t *Topology) Connect(a, b string, opts ...LinkOption) *Link {
+	if t.nodes[a] == nil || t.nodes[b] == nil {
+		panic(fmt.Sprintf("simnet: Connect(%q, %q): unknown node", a, b))
+	}
+	l := &Link{
+		A: a, B: b,
+		BWAtoB: defaultBW, BWBtoA: defaultBW,
+		LatAtoB: defaultLatency, LatBtoA: defaultLatency,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	idx := len(t.links)
+	t.links = append(t.links, l)
+	t.adj[a] = append(t.adj[a], idx)
+	t.adj[b] = append(t.adj[b], idx)
+	t.routeCache = map[string][]string{}
+	return l
+}
+
+// Links returns all links.
+func (t *Topology) Links() []*Link { return t.links }
+
+// SetRoute forces the path from src to dst (inclusive of both endpoints).
+// Use it to model asymmetric routes: set one direction only and the
+// reverse keeps its shortest path.
+func (t *Topology) SetRoute(src, dst string, path []string) {
+	if len(path) < 2 || path[0] != src || path[len(path)-1] != dst {
+		panic("simnet: SetRoute path must start at src and end at dst")
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if t.findLink(path[i], path[i+1]) == nil {
+			panic(fmt.Sprintf("simnet: SetRoute: no link %s-%s", path[i], path[i+1]))
+		}
+	}
+	t.routeOverride[src+"->"+dst] = append([]string(nil), path...)
+	t.routeCache = map[string][]string{}
+}
+
+func (t *Topology) findLink(a, b string) *Link {
+	for _, idx := range t.adj[a] {
+		l := t.links[idx]
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// RouteOverrides returns a copy of the forced-route table, keyed
+// "src->dst".
+func (t *Topology) RouteOverrides() map[string][]string {
+	out := map[string][]string{}
+	for k, v := range t.routeOverride {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// Path returns the node sequence from src to dst (inclusive), honoring
+// route overrides, VLAN filtering (the source host's VLAN must be allowed
+// on every layer-2 link of the path) and per-direction latencies as edge
+// weights. It returns an error if no route exists.
+func (t *Topology) Path(src, dst string) ([]string, error) {
+	if src == dst {
+		return []string{src}, nil
+	}
+	if p, ok := t.routeOverride[src+"->"+dst]; ok {
+		return p, nil
+	}
+	key := src + "->" + dst
+	if p, ok := t.routeCache[key]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("simnet: no route from %s to %s", src, dst)
+		}
+		return p, nil
+	}
+	p := t.dijkstra(src, dst)
+	t.routeCache[key] = p
+	if p == nil {
+		return nil, fmt.Errorf("simnet: no route from %s to %s", src, dst)
+	}
+	return p, nil
+}
+
+// vlanUniverse returns all VLAN ids mentioned by hosts or links, plus the
+// default VLAN 0, in ascending order.
+func (t *Topology) vlanUniverse() []int {
+	set := map[int]struct{}{0: {}}
+	for _, n := range t.nodes {
+		if n.Kind == Host {
+			set[n.VLAN] = struct{}{}
+		}
+	}
+	for _, l := range t.links {
+		for _, v := range l.VLANs {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dijkstra computes the minimum-latency path with hop count as
+// tie-breaker. The search state is (node, VLAN): a packet carries one VLAN
+// tag per layer-2 segment, every link must allow the current tag, and only
+// routers may re-tag traffic onto another VLAN (inter-VLAN routing).
+func (t *Topology) dijkstra(src, dst string) []string {
+	srcNode, dstNode := t.nodes[src], t.nodes[dst]
+	if srcNode == nil || dstNode == nil {
+		return nil
+	}
+	vlans := t.vlanUniverse()
+
+	type key struct {
+		node string
+		vlan int
+	}
+	type state struct {
+		cost time.Duration
+		hops int
+		prev key
+		has  bool
+		done bool
+	}
+	states := map[key]*state{{src, srcNode.VLAN}: {}}
+	goal := key{dst, dstNode.VLAN}
+	for {
+		// Pick the cheapest unfinished state (linear scan over the
+		// deterministic node order: topologies are small).
+		var cur key
+		var curSt *state
+		for _, id := range t.order {
+			for _, v := range vlans {
+				k := key{id, v}
+				st := states[k]
+				if st == nil || st.done {
+					continue
+				}
+				if curSt == nil || st.cost < curSt.cost ||
+					(st.cost == curSt.cost && st.hops < curSt.hops) {
+					cur, curSt = k, st
+				}
+			}
+		}
+		if curSt == nil {
+			return nil
+		}
+		if cur == goal {
+			break
+		}
+		curSt.done = true
+
+		relax := func(k key, cost time.Duration, hops int) {
+			st := states[k]
+			if st != nil && st.done {
+				return
+			}
+			if st == nil || cost < st.cost || (cost == st.cost && hops < st.hops) {
+				states[k] = &state{cost: cost, hops: hops, prev: cur, has: true}
+			}
+		}
+
+		// Routers re-tag traffic onto any VLAN at no cost.
+		if t.nodes[cur.node].Kind == Router {
+			for _, v := range vlans {
+				if v != cur.vlan {
+					relax(key{cur.node, v}, curSt.cost, curSt.hops)
+				}
+			}
+		}
+		// Hosts never forward transit traffic, except gateways.
+		if n := t.nodes[cur.node]; n.Kind == Host && cur.node != src && !n.Forwards {
+			continue
+		}
+		for _, idx := range t.adj[cur.node] {
+			l := t.links[idx]
+			next := l.B
+			lat := l.LatAtoB
+			if next == cur.node {
+				next = l.A
+				lat = l.LatBtoA
+			}
+			if !l.allowsVLAN(cur.vlan) {
+				continue
+			}
+			relax(key{next, cur.vlan}, curSt.cost+lat, curSt.hops+1)
+		}
+	}
+	// Reconstruct, skipping zero-length re-tag steps at routers.
+	var path []string
+	for at := goal; ; {
+		if len(path) == 0 || path[len(path)-1] != at.node {
+			path = append(path, at.node)
+		}
+		st := states[at]
+		if !st.has {
+			break
+		}
+		at = st.prev
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// PathLatency sums one-way latencies along the routed path from src to dst.
+func (t *Topology) PathLatency(src, dst string) (time.Duration, error) {
+	p, err := t.Path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for i := 0; i+1 < len(p); i++ {
+		l := t.findLink(p[i], p[i+1])
+		if l.A == p[i] {
+			total += l.LatAtoB
+		} else {
+			total += l.LatBtoA
+		}
+	}
+	return total, nil
+}
+
+// AloneBandwidth returns the bandwidth (bits/s) a single flow from src to
+// dst achieves with no competing traffic: the minimum directed link
+// capacity and hub domain capacity along the path. This is the simulator's
+// ground truth against which probe results are compared.
+func (t *Topology) AloneBandwidth(src, dst string) (float64, error) {
+	p, err := t.Path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	bw := math.Inf(1)
+	for i := 0; i+1 < len(p); i++ {
+		l := t.findLink(p[i], p[i+1])
+		var c float64
+		if l.A == p[i] {
+			c = l.BWAtoB
+		} else {
+			c = l.BWBtoA
+		}
+		if c < bw {
+			bw = c
+		}
+	}
+	for _, id := range p {
+		if n := t.nodes[id]; n.Kind == Hub && n.HubCapacity < bw {
+			bw = n.HubCapacity
+		}
+	}
+	return bw, nil
+}
+
+// Reachable reports whether src may exchange traffic with dst given
+// firewall zones and routing.
+func (t *Topology) Reachable(src, dst string) bool {
+	a, b := t.nodes[src], t.nodes[dst]
+	if a == nil || b == nil || !a.SharesZone(b) {
+		return false
+	}
+	_, err := t.Path(src, dst)
+	return err == nil
+}
+
+// TracerouteHop is one line of traceroute output.
+type TracerouteHop struct {
+	// Identifier is the router's DNS name if it has one, its IP
+	// otherwise, or "*" when the router drops TTL-exceeded probes.
+	Identifier string
+	IP         string
+	Responded  bool
+}
+
+// Traceroute reports the layer-3 hops (routers only — switches and hubs
+// are invisible, as on a real network) on the path from src to dst,
+// excluding the endpoints.
+func (t *Topology) Traceroute(src, dst string) ([]TracerouteHop, error) {
+	p, err := t.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	var hops []TracerouteHop
+	for _, id := range p[1 : len(p)-1] {
+		n := t.nodes[id]
+		if n.Kind != Router && !(n.Kind == Host && n.Forwards) {
+			continue
+		}
+		h := TracerouteHop{IP: n.IP, Responded: n.TracerouteResponds}
+		if n.TracerouteResponds {
+			h.Identifier = n.Identifier()
+		} else {
+			h.Identifier = "*"
+		}
+		hops = append(hops, h)
+	}
+	return hops, nil
+}
+
+// SharedResources reports whether concurrent flows src1→dst1 and src2→dst2
+// would compete for any resource (directed link or hub domain). Used by
+// the deployment validator to prove collision-freedom.
+func (t *Topology) SharedResources(src1, dst1, src2, dst2 string) (bool, error) {
+	r1, err := t.pathResourceKeys(src1, dst1)
+	if err != nil {
+		return false, err
+	}
+	r2, err := t.pathResourceKeys(src2, dst2)
+	if err != nil {
+		return false, err
+	}
+	for k := range r1 {
+		if _, ok := r2[k]; ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (t *Topology) pathResourceKeys(src, dst string) (map[string]struct{}, error) {
+	p, err := t.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	keys := map[string]struct{}{}
+	for i := 0; i+1 < len(p); i++ {
+		keys["edge:"+p[i]+"->"+p[i+1]] = struct{}{}
+	}
+	for _, id := range p {
+		if t.nodes[id].Kind == Hub {
+			keys["hub:"+id] = struct{}{}
+		}
+	}
+	return keys, nil
+}
+
+// Validate checks structural consistency: connected endpoints, positive
+// capacities, override paths using existing links.
+func (t *Topology) Validate() error {
+	if len(t.nodes) == 0 {
+		return fmt.Errorf("simnet: empty topology")
+	}
+	for _, l := range t.links {
+		if l.BWAtoB <= 0 || l.BWBtoA <= 0 {
+			return fmt.Errorf("simnet: link %s-%s has non-positive capacity", l.A, l.B)
+		}
+		if l.LatAtoB < 0 || l.LatBtoA < 0 {
+			return fmt.Errorf("simnet: link %s-%s has negative latency", l.A, l.B)
+		}
+	}
+	for _, id := range t.order {
+		n := t.nodes[id]
+		if n.Kind == Hub && n.HubCapacity <= 0 {
+			return fmt.Errorf("simnet: hub %s has non-positive capacity", id)
+		}
+		if len(t.adj[id]) == 0 {
+			return fmt.Errorf("simnet: node %s is isolated", id)
+		}
+	}
+	return nil
+}
+
+// DomainsOf returns the sorted set of DNS domains present among hosts.
+func (t *Topology) DomainsOf() []string {
+	set := map[string]struct{}{}
+	for _, h := range t.Hosts() {
+		if h.Domain != "" {
+			set[h.Domain] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

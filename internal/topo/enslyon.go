@@ -1,0 +1,276 @@
+// Package topo provides canned and generated topologies for the
+// experiments: the paper's ENS-Lyon LAN (Figure 1a), plus dumbbells,
+// two-site WAN constellations and random hierarchical LANs used to test
+// the mapper and planner beyond the single published testbed.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nwsenv/internal/gridml"
+	"nwsenv/internal/simnet"
+)
+
+// EnsLyon bundles the paper's testbed topology with the metadata the
+// two-sided (firewalled) ENV mapping needs.
+type EnsLyon struct {
+	Topo *simnet.Topology
+
+	// Master hosts for each ENV run (§4.2 outside master is the-doors;
+	// the inside run is launched on the gateway side, we use popc0).
+	OutsideMaster, InsideMaster string
+
+	// Hosts mapped by each run (node IDs, masters included).
+	OutsideHosts, InsideHosts []string
+
+	// Display names per run: the outside run knows gateways by their
+	// public names, the inside run by their private ones (§4.3).
+	OutsideNames, InsideNames map[string]string
+
+	// GatewayAliases feed the GridML merge.
+	GatewayAliases []gridml.GatewayAlias
+
+	// External traceroute target.
+	External string
+
+	// Ground-truth network memberships for scoring mapper output:
+	// label -> host node IDs and whether the network is shared.
+	Truth map[string]NetworkTruth
+}
+
+// NetworkTruth describes one physical layer-2 network.
+type NetworkTruth struct {
+	Hosts  []string
+	Shared bool
+}
+
+// Zone names.
+const (
+	ZonePublic  = "ens-lyon.fr"
+	ZonePrivate = "popc.private"
+)
+
+// NewEnsLyon builds the Figure 1a testbed:
+//
+//   - Hub 1 (100 Mbps, shared): canaria, moby, the-doors — behind router
+//     140.77.13.1 (no DNS), itself behind the root router 192.168.254.1
+//     (non-routable IP, no DNS).
+//   - Hub 2 (100 Mbps, shared): the dual-homed gateways popc0, myri0,
+//     sci0 — behind routlhpc and routeur-backbone.
+//   - Hub 3 (100 Mbps, shared): myri1, myri2 behind gateway myri0.
+//   - Switch (100 Mbps, switched): sci1..sci6 behind gateway sci0.
+//   - The route from the public side into Hub 2 crosses a 10 Mbps
+//     bottleneck; the reverse direction is 100 Mbps (the asymmetric
+//     route of §4.3).
+//   - The popc.private hosts are firewalled: only the gateways reach the
+//     public zone.
+func NewEnsLyon() *EnsLyon {
+	t := simnet.NewTopology()
+
+	// Routers.
+	t.AddRouter("r-root", "192.168.254.1", "") // non-routable IP, no DNS
+	t.AddRouter("r-13", "140.77.13.1", "")     // no DNS name (paper's "machines without hostname")
+	t.AddRouter("r-backbone", "140.77.161.1", "routeur-backbone")
+	t.AddRouter("routlhpc", "140.77.12.1", "routlhpc")
+	t.Connect("r-13", "r-root")
+	t.Connect("r-backbone", "r-root")
+	t.Connect("routlhpc", "r-backbone")
+
+	// External world beyond the root router.
+	t.AddHost("world", "193.51.1.1", "world.example.net", "example.net", simnet.WithZones(ZonePublic))
+	t.Connect("r-root", "world")
+
+	// Hub 1: public hosts.
+	t.AddHub("hub1", 100*simnet.Mbps)
+	t.Connect("hub1", "r-13")
+	pub := func(id, ip, dns string) {
+		t.AddHost(id, ip, dns, "ens-lyon.fr", simnet.WithZones(ZonePublic),
+			simnet.WithProp("CPU_model", "Pentium III"), simnet.WithProp("OS_version", "Linux 2.4.19"))
+		t.Connect(id, "hub1")
+	}
+	pub("the-doors", "140.77.13.10", "the-doors.ens-lyon.fr")
+	pub("canaria", "140.77.13.229", "canaria.ens-lyon.fr")
+	pub("moby", "140.77.13.82", "moby.cri2000.ens-lyon.fr")
+
+	// Hub 2: gateways, dual-zoned. The 10 Mbps bottleneck sits on the
+	// way in (routlhpc -> hub2); the way out is 100 Mbps.
+	t.AddHub("hub2", 100*simnet.Mbps)
+	t.Connect("routlhpc", "hub2", simnet.LinkBWAsym(10*simnet.Mbps, 100*simnet.Mbps))
+	gw := func(id, ip, dns string) {
+		t.AddHost(id, ip, dns, "ens-lyon.fr",
+			simnet.WithZones(ZonePublic, ZonePrivate), simnet.WithForwarding(),
+			simnet.WithProp("CPU_model", "Pentium Pro"), simnet.WithProp("OS_version", "Linux 2.4.19-pre7-act"))
+		t.Connect(id, "hub2")
+	}
+	gw("popc0", "140.77.12.52", "popc.ens-lyon.fr")
+	gw("myri0", "140.77.12.53", "myri.ens-lyon.fr")
+	gw("sci0", "140.77.12.54", "sci.ens-lyon.fr")
+
+	// Hub 3: myri compute nodes behind myri0.
+	t.AddHub("hub3", 100*simnet.Mbps)
+	t.Connect("myri0", "hub3")
+	priv := func(id, ip string, attach string) {
+		t.AddHost(id, ip, id+".popc.private", "popc.private",
+			simnet.WithZones(ZonePrivate),
+			simnet.WithProp("CPU_model", "Pentium II"), simnet.WithProp("OS_version", "Linux 2.2.19"))
+		t.Connect(id, attach)
+	}
+	priv("myri1", "192.168.81.1", "hub3")
+	priv("myri2", "192.168.81.2", "hub3")
+
+	// Switch: sci compute nodes behind sci0.
+	t.AddSwitch("sciswitch")
+	t.Connect("sci0", "sciswitch")
+	for i := 1; i <= 6; i++ {
+		priv(fmt.Sprintf("sci%d", i), fmt.Sprintf("192.168.82.%d", i), "sciswitch")
+	}
+
+	t.ExternalTarget = "world"
+
+	e := &EnsLyon{
+		Topo:          t,
+		OutsideMaster: "the-doors",
+		InsideMaster:  "popc0",
+		OutsideHosts:  []string{"the-doors", "canaria", "moby", "popc0", "myri0", "sci0"},
+		InsideHosts:   []string{"popc0", "myri0", "sci0", "myri1", "myri2", "sci1", "sci2", "sci3", "sci4", "sci5", "sci6"},
+		External:      "world",
+		OutsideNames: map[string]string{
+			"the-doors": "the-doors.ens-lyon.fr",
+			"canaria":   "canaria.ens-lyon.fr",
+			"moby":      "moby.cri2000.ens-lyon.fr",
+			"popc0":     "popc.ens-lyon.fr",
+			"myri0":     "myri.ens-lyon.fr",
+			"sci0":      "sci.ens-lyon.fr",
+		},
+		InsideNames: map[string]string{
+			"popc0": "popc0.popc.private",
+			"myri0": "myri0.popc.private",
+			"sci0":  "sci0.popc.private",
+			"myri1": "myri1.popc.private",
+			"myri2": "myri2.popc.private",
+			"sci1":  "sci1.popc.private", "sci2": "sci2.popc.private",
+			"sci3": "sci3.popc.private", "sci4": "sci4.popc.private",
+			"sci5": "sci5.popc.private", "sci6": "sci6.popc.private",
+		},
+		GatewayAliases: []gridml.GatewayAlias{
+			{Outside: "popc.ens-lyon.fr", Inside: "popc0.popc.private"},
+			{Outside: "myri.ens-lyon.fr", Inside: "myri0.popc.private"},
+			{Outside: "sci.ens-lyon.fr", Inside: "sci0.popc.private"},
+		},
+		Truth: map[string]NetworkTruth{
+			"hub1":      {Hosts: []string{"the-doors", "canaria", "moby"}, Shared: true},
+			"hub2":      {Hosts: []string{"popc0", "myri0", "sci0"}, Shared: true},
+			"hub3":      {Hosts: []string{"myri1", "myri2"}, Shared: true},
+			"sciswitch": {Hosts: []string{"sci1", "sci2", "sci3", "sci4", "sci5", "sci6"}, Shared: false},
+		},
+	}
+	return e
+}
+
+// Dumbbell builds two switched clusters of size n joined by one
+// bottleneck link: the canonical master/slave information-loss scenario
+// of §4.3 (link C between two clusters is invisible from the master).
+func Dumbbell(n int, bottleneck float64) *simnet.Topology {
+	t := simnet.NewTopology()
+	t.AddSwitch("swL")
+	t.AddSwitch("swR")
+	t.AddRouter("rL", "10.0.0.254", "rL")
+	t.AddRouter("rR", "10.0.1.254", "rR")
+	t.Connect("swL", "rL")
+	t.Connect("swR", "rR")
+	t.Connect("rL", "rR", simnet.LinkBW(bottleneck))
+	for i := 0; i < n; i++ {
+		l := fmt.Sprintf("l%d", i)
+		r := fmt.Sprintf("r%d", i)
+		t.AddHost(l, fmt.Sprintf("10.0.0.%d", i+1), l+".left.net", "left.net")
+		t.AddHost(r, fmt.Sprintf("10.0.1.%d", i+1), r+".right.net", "right.net")
+		t.Connect(l, "swL")
+		t.Connect(r, "swR")
+	}
+	t.AddHost("world", "193.51.1.1", "world.example.net", "example.net")
+	t.AddRouter("r-out", "193.51.1.254", "r-out")
+	t.Connect("rL", "r-out")
+	t.Connect("r-out", "world")
+	t.ExternalTarget = "world"
+	return t
+}
+
+// TwoSite builds a WAN constellation: two LAN sites (one hub-based, one
+// switch-based) joined by a high-latency WAN link — the "WAN
+// constellation of LAN resources" of §5.
+func TwoSite(nA, nB int) *simnet.Topology {
+	t := simnet.NewTopology()
+	t.AddRouter("wanA", "131.1.0.254", "gw.site-a.org")
+	t.AddRouter("wanB", "132.1.0.254", "gw.site-b.org")
+	t.Connect("wanA", "wanB", simnet.LinkBW(34*simnet.Mbps), simnet.LinkLatency(15*time.Millisecond))
+
+	t.AddHub("hubA", 100*simnet.Mbps)
+	t.Connect("hubA", "wanA")
+	for i := 0; i < nA; i++ {
+		h := fmt.Sprintf("a%d", i)
+		t.AddHost(h, fmt.Sprintf("131.1.0.%d", i+1), h+".site-a.org", "site-a.org")
+		t.Connect(h, "hubA")
+	}
+	t.AddSwitch("swB")
+	t.Connect("swB", "wanB")
+	for i := 0; i < nB; i++ {
+		h := fmt.Sprintf("b%d", i)
+		t.AddHost(h, fmt.Sprintf("132.1.0.%d", i+1), h+".site-b.org", "site-b.org")
+		t.Connect(h, "swB")
+	}
+	t.AddRouter("r-out", "193.51.1.254", "r-out")
+	t.AddHost("world", "193.51.1.1", "world.example.net", "example.net")
+	t.Connect("wanA", "r-out")
+	t.Connect("r-out", "world")
+	t.ExternalTarget = "world"
+	return t
+}
+
+// RandomLAN generates a hierarchical LAN: a root router with a mix of
+// hub and switch subnets, each holding a few hosts. Deterministic for a
+// given seed. Returns the topology and the ground-truth networks.
+func RandomLAN(seed int64, subnets, hostsPerSubnet int) (*simnet.Topology, map[string]NetworkTruth) {
+	rng := rand.New(rand.NewSource(seed))
+	t := simnet.NewTopology()
+	t.AddRouter("root", "10.255.0.254", "root.rand.net")
+	t.AddRouter("r-out", "193.51.1.254", "r-out")
+	t.AddHost("world", "193.51.1.1", "world.example.net", "example.net")
+	t.Connect("root", "r-out")
+	t.Connect("r-out", "world")
+
+	truth := map[string]NetworkTruth{}
+	for s := 0; s < subnets; s++ {
+		shared := rng.Intn(2) == 0
+		segID := fmt.Sprintf("seg%d", s)
+		rID := fmt.Sprintf("r%d", s)
+		t.AddRouter(rID, fmt.Sprintf("10.%d.0.254", s), rID+".rand.net")
+		// Random uplink capacity: sometimes a bottleneck.
+		up := 100 * simnet.Mbps
+		if rng.Intn(3) == 0 {
+			up = 10 * simnet.Mbps
+		}
+		t.Connect(rID, "root", simnet.LinkBW(up))
+		if shared {
+			t.AddHub(segID, 100*simnet.Mbps)
+		} else {
+			t.AddSwitch(segID)
+		}
+		t.Connect(segID, rID)
+		var hosts []string
+		n := hostsPerSubnet
+		if n < 2 {
+			n = 2
+		}
+		for h := 0; h < n; h++ {
+			id := fmt.Sprintf("h%d-%d", s, h)
+			t.AddHost(id, fmt.Sprintf("10.%d.0.%d", s, h+1), id+".rand.net", "rand.net")
+			t.Connect(id, segID)
+			hosts = append(hosts, id)
+		}
+		truth[segID] = NetworkTruth{Hosts: hosts, Shared: shared}
+	}
+	t.ExternalTarget = "world"
+	return t, truth
+}

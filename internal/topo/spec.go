@@ -1,0 +1,186 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"nwsenv/internal/simnet"
+)
+
+// Spec is the on-disk JSON description of a topology, consumed by the
+// command-line tools (cmd/topogen writes it, cmd/envmap and
+// cmd/nwsmanager read it).
+type Spec struct {
+	Nodes    []NodeSpec  `json:"nodes"`
+	Links    []LinkSpec  `json:"links"`
+	Routes   []RouteSpec `json:"routes,omitempty"`
+	External string      `json:"external,omitempty"`
+
+	// Masters suggests mapping masters (one per firewall side) and
+	// NamesOf carries per-run display names, so a Spec can round-trip an
+	// EnsLyon-style scenario.
+	Masters []string                     `json:"masters,omitempty"`
+	NamesOf map[string]map[string]string `json:"namesOf,omitempty"`
+}
+
+// NodeSpec describes one network element.
+type NodeSpec struct {
+	ID      string            `json:"id"`
+	Kind    string            `json:"kind"` // host, router, switch, hub
+	IP      string            `json:"ip,omitempty"`
+	DNS     string            `json:"dns,omitempty"`
+	Domain  string            `json:"domain,omitempty"`
+	VLAN    int               `json:"vlan,omitempty"`
+	Zones   []string          `json:"zones,omitempty"`
+	HubMbps float64           `json:"hubMbps,omitempty"`
+	NoTrace bool              `json:"noTraceroute,omitempty"`
+	Forward bool              `json:"forwards,omitempty"`
+	Props   map[string]string `json:"props,omitempty"`
+}
+
+// LinkSpec describes one link; zero values take simnet defaults.
+type LinkSpec struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	MbpsAB    float64 `json:"mbpsAB,omitempty"`
+	MbpsBA    float64 `json:"mbpsBA,omitempty"`
+	LatencyUS int64   `json:"latencyUS,omitempty"`
+	VLANs     []int   `json:"vlans,omitempty"`
+}
+
+// RouteSpec forces a path for one direction.
+type RouteSpec struct {
+	Src  string   `json:"src"`
+	Dst  string   `json:"dst"`
+	Path []string `json:"path"`
+}
+
+// Build materializes the spec into a simulator topology.
+func (s *Spec) Build() (*simnet.Topology, error) {
+	t := simnet.NewTopology()
+	for _, n := range s.Nodes {
+		var opts []simnet.NodeOption
+		if n.VLAN != 0 {
+			opts = append(opts, simnet.WithVLAN(n.VLAN))
+		}
+		if len(n.Zones) > 0 {
+			opts = append(opts, simnet.WithZones(n.Zones...))
+		}
+		if n.NoTrace {
+			opts = append(opts, simnet.WithNoTracerouteResponse())
+		}
+		if n.Forward {
+			opts = append(opts, simnet.WithForwarding())
+		}
+		for k, v := range n.Props {
+			opts = append(opts, simnet.WithProp(k, v))
+		}
+		switch strings.ToLower(n.Kind) {
+		case "host":
+			t.AddHost(n.ID, n.IP, n.DNS, n.Domain, opts...)
+		case "router":
+			t.AddRouter(n.ID, n.IP, n.DNS, opts...)
+		case "switch":
+			t.AddSwitch(n.ID, opts...)
+		case "hub":
+			cap := n.HubMbps
+			if cap <= 0 {
+				cap = 100
+			}
+			t.AddHub(n.ID, cap*simnet.Mbps, opts...)
+		default:
+			return nil, fmt.Errorf("topo: node %q has unknown kind %q", n.ID, n.Kind)
+		}
+	}
+	for _, l := range s.Links {
+		var opts []simnet.LinkOption
+		switch {
+		case l.MbpsAB > 0 && l.MbpsBA > 0:
+			opts = append(opts, simnet.LinkBWAsym(l.MbpsAB*simnet.Mbps, l.MbpsBA*simnet.Mbps))
+		case l.MbpsAB > 0:
+			opts = append(opts, simnet.LinkBW(l.MbpsAB*simnet.Mbps))
+		}
+		if l.LatencyUS > 0 {
+			opts = append(opts, simnet.LinkLatency(time.Duration(l.LatencyUS)*time.Microsecond))
+		}
+		if len(l.VLANs) > 0 {
+			opts = append(opts, simnet.LinkVLANs(l.VLANs...))
+		}
+		t.Connect(l.A, l.B, opts...)
+	}
+	for _, r := range s.Routes {
+		t.SetRoute(r.Src, r.Dst, r.Path)
+	}
+	t.ExternalTarget = s.External
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Export converts a topology back to a spec.
+func Export(t *simnet.Topology) *Spec {
+	s := &Spec{External: t.ExternalTarget}
+	for _, n := range t.Nodes() {
+		ns := NodeSpec{
+			ID: n.ID, IP: n.IP, DNS: n.DNS, Domain: n.Domain,
+			VLAN: n.VLAN, Forward: n.Forwards, Props: n.Props,
+		}
+		if !(len(n.Zones) == 1 && n.Zones[0] == "default") {
+			ns.Zones = n.Zones
+		}
+		switch n.Kind {
+		case simnet.Host:
+			ns.Kind = "host"
+		case simnet.Router:
+			ns.Kind = "router"
+			ns.NoTrace = !n.TracerouteResponds
+		case simnet.Switch:
+			ns.Kind = "switch"
+		case simnet.Hub:
+			ns.Kind = "hub"
+			ns.HubMbps = n.HubCapacity / simnet.Mbps
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	for _, l := range t.Links() {
+		s.Links = append(s.Links, LinkSpec{
+			A: l.A, B: l.B,
+			MbpsAB:    l.BWAtoB / simnet.Mbps,
+			MbpsBA:    l.BWBtoA / simnet.Mbps,
+			LatencyUS: l.LatAtoB.Microseconds(),
+			VLANs:     l.VLANs,
+		})
+	}
+	for key, path := range t.RouteOverrides() {
+		parts := strings.SplitN(key, "->", 2)
+		s.Routes = append(s.Routes, RouteSpec{Src: parts[0], Dst: parts[1], Path: path})
+	}
+	return s
+}
+
+// EncodeSpec renders the spec as indented JSON.
+func EncodeSpec(s *Spec) ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// DecodeSpec parses a JSON spec.
+func DecodeSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("topo: spec: %w", err)
+	}
+	return &s, nil
+}
+
+// EnsLyonSpec exports the paper testbed with its run metadata.
+func EnsLyonSpec() *Spec {
+	e := NewEnsLyon()
+	s := Export(e.Topo)
+	s.Masters = []string{e.OutsideMaster, e.InsideMaster}
+	s.NamesOf = map[string]map[string]string{
+		e.OutsideMaster: e.OutsideNames,
+		e.InsideMaster:  e.InsideNames,
+	}
+	return s
+}

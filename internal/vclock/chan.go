@@ -1,0 +1,161 @@
+package vclock
+
+import "time"
+
+// Chan is an unbounded FIFO channel for communication between simulation
+// processes. Send never blocks; Recv blocks the calling process in virtual
+// time until a value (or close) arrives. All hand-offs are serialized
+// through the simulation event queue, preserving determinism.
+type Chan[T any] struct {
+	sim     *Sim
+	name    string
+	buf     []T
+	waiters []*waiter[T]
+	closed  bool
+}
+
+type waiter[T any] struct {
+	ch    chan struct{}
+	v     T
+	ok    bool
+	done  bool
+	timer *Event
+}
+
+// NewChan creates a channel bound to sim. The name is used in diagnostics.
+func NewChan[T any](sim *Sim, name string) *Chan[T] {
+	return &Chan[T]{sim: sim, name: name}
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Chan[T]) Name() string { return c.name }
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int {
+	c.sim.mu.Lock()
+	defer c.sim.mu.Unlock()
+	return len(c.buf)
+}
+
+// wake schedules delivery to w at the current instant. Caller holds sim.mu.
+func (c *Chan[T]) wake(w *waiter[T], v T, ok bool) {
+	w.done = true
+	if w.timer != nil && !w.timer.fired {
+		w.timer.canceled = true
+	}
+	c.sim.blocked--
+	c.sim.schedule(c.sim.now, func() {
+		c.sim.mu.Lock()
+		c.sim.busy++
+		c.sim.mu.Unlock()
+		w.v, w.ok = v, ok
+		close(w.ch)
+	})
+}
+
+// Send delivers v to a waiting receiver or buffers it. It may be called
+// from processes, event callbacks, or before Run starts. Sending on a
+// closed channel panics, mirroring native channels.
+func (c *Chan[T]) Send(v T) {
+	c.sim.mu.Lock()
+	defer c.sim.mu.Unlock()
+	if c.closed {
+		panic("vclock: send on closed channel " + c.name)
+	}
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.done {
+			continue
+		}
+		c.wake(w, v, true)
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// Close closes the channel: buffered values can still be received, after
+// which Recv returns ok=false. Waiting receivers are released immediately.
+func (c *Chan[T]) Close() {
+	c.sim.mu.Lock()
+	defer c.sim.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	var zero T
+	for _, w := range c.waiters {
+		if !w.done {
+			c.wake(w, zero, false)
+		}
+	}
+	c.waiters = nil
+}
+
+// Recv blocks the calling process until a value is available. ok is false
+// if the channel was closed and drained. It must only be called from a
+// process goroutine.
+func (c *Chan[T]) Recv() (v T, ok bool) {
+	return c.recv(0, false)
+}
+
+// RecvTimeout is Recv with a virtual-time timeout; ok is false on timeout
+// or close.
+func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok bool) {
+	return c.recv(d, true)
+}
+
+// TryRecv returns immediately: ok is false if no value is buffered.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	c.sim.mu.Lock()
+	defer c.sim.mu.Unlock()
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+func (c *Chan[T]) recv(d time.Duration, timed bool) (T, bool) {
+	s := c.sim
+	s.mu.Lock()
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		s.mu.Unlock()
+		return v, true
+	}
+	if c.closed {
+		s.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	if s.busy <= 0 {
+		s.mu.Unlock()
+		panic("vclock: Recv on " + c.name + " called outside a simulation process")
+	}
+	w := &waiter[T]{ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	if timed {
+		w.timer = s.schedule(s.now+d, func() {
+			s.mu.Lock()
+			if w.done {
+				s.mu.Unlock()
+				return
+			}
+			w.done = true
+			s.blocked--
+			s.busy++
+			s.mu.Unlock()
+			w.ok = false
+			close(w.ch)
+		})
+	}
+	s.busy--
+	s.blocked++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-w.ch
+	return w.v, w.ok
+}

@@ -1,0 +1,293 @@
+// Package vclock implements a deterministic discrete-event simulation
+// kernel with virtual time.
+//
+// Simulated activities run as ordinary goroutines ("processes") spawned
+// with Sim.Go. The kernel enforces run-to-block semantics: at any instant
+// at most one process executes, and the virtual clock advances only when
+// every process is blocked in a kernel primitive (Sleep, Chan.Recv, ...).
+// All wakeups are delivered through a single time-ordered event queue with
+// a monotonic sequence number as tie-breaker, so a simulation that performs
+// the same calls in the same order is fully deterministic, independent of
+// the Go scheduler.
+//
+// The kernel is the substrate for the simnet network simulator and, above
+// it, the NWS/ENV reproduction: probe durations, token-ring periods and
+// mapping campaign lengths are all measured in virtual time.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sim is a discrete-event simulation. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	now    time.Duration
+	seq    int64
+	events eventHeap
+
+	// busy counts process goroutines that are currently runnable. The
+	// scheduler pops events only while busy == 0.
+	busy int
+	// procs counts live (spawned, not yet finished) processes.
+	procs int
+	// blocked counts processes waiting on a Chan with no pending wakeup;
+	// used for deadlock detection when the event queue drains.
+	blocked int
+
+	running bool
+	stopped bool
+
+	err error
+}
+
+// New returns a fresh simulation with the clock at zero.
+func New() *Sim {
+	s := &Sim{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Event is a cancelable scheduled callback.
+type Event struct {
+	at       time.Duration
+	seq      int64
+	fn       func()
+	canceled bool
+	fired    bool
+	sim      *Sim
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the cancellation
+// took effect.
+func (e *Event) Cancel() bool {
+	if e == nil {
+		return false
+	}
+	e.sim.mu.Lock()
+	defer e.sim.mu.Unlock()
+	if e.fired || e.canceled {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// When returns the virtual time at which the event is scheduled.
+func (e *Event) When() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// schedule enqueues fn at absolute time at (clamped to now). Callers must
+// hold s.mu.
+func (s *Sim) schedule(at time.Duration, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &Event{at: at, seq: s.seq, fn: fn, sim: s}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute virtual time at (clamped to the
+// current time). fn runs in the scheduler context: it must not block in
+// kernel primitives, but it may call Go, Chan.Send and schedule further
+// events.
+func (s *Sim) At(at time.Duration, fn func()) *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schedule(at, fn)
+}
+
+// After schedules fn to run d from now. See At for the execution context.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schedule(s.now+d, fn)
+}
+
+// Go spawns fn as a simulation process. The process does not start
+// executing until the scheduler reaches its start event, so Go may be
+// called before Run as well as from processes and event callbacks.
+func (s *Sim) Go(name string, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.procs++
+	s.schedule(s.now, func() {
+		s.mu.Lock()
+		s.busy++
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				s.busy--
+				s.procs--
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}()
+			fn()
+		}()
+	})
+	_ = name
+}
+
+// Sleep blocks the calling process for d of virtual time. It must only be
+// called from a process goroutine.
+func (s *Sim) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	if s.busy <= 0 {
+		s.mu.Unlock()
+		panic("vclock: Sleep called outside a simulation process")
+	}
+	s.schedule(s.now+d, func() {
+		s.mu.Lock()
+		s.busy++
+		s.mu.Unlock()
+		close(ch)
+	})
+	s.busy--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-ch
+}
+
+// Yield lets every other runnable work scheduled at the current instant
+// run before the calling process continues.
+func (s *Sim) Yield() { s.Sleep(0) }
+
+// Run executes the simulation until the event queue is empty and all
+// processes have finished or are permanently blocked. It returns a
+// deadlock error if processes remain blocked on channels when no events
+// are left, and nil otherwise.
+func (s *Sim) Run() error {
+	return s.run(0, false)
+}
+
+// RunUntil executes the simulation up to virtual time t. Events scheduled
+// after t remain queued; the clock is left at t (or at the time the
+// simulation drained, whichever is earlier).
+func (s *Sim) RunUntil(t time.Duration) error {
+	return s.run(t, true)
+}
+
+// Stop makes Run return after the currently executing step. It may be
+// called from event callbacks or processes.
+func (s *Sim) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Sim) run(deadline time.Duration, hasDeadline bool) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		panic("vclock: Run called reentrantly")
+	}
+	s.running = true
+	s.stopped = false
+	s.err = nil
+	for {
+		for s.busy > 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			break
+		}
+		var ev *Event
+		for s.events.Len() > 0 {
+			e := heap.Pop(&s.events).(*Event)
+			if e.canceled {
+				continue
+			}
+			ev = e
+			break
+		}
+		if ev == nil {
+			// Processes blocked forever are a deadlock for Run; for
+			// RunUntil they are normal (idle servers awaiting messages).
+			if s.blocked > 0 && !hasDeadline {
+				s.err = fmt.Errorf("vclock: deadlock at %v: %d process(es) blocked on channels with no pending events", s.now, s.blocked)
+			}
+			break
+		}
+		if hasDeadline && ev.at > deadline {
+			// Not due yet: put it back and stop at the deadline.
+			heap.Push(&s.events, ev)
+			if s.now < deadline {
+				s.now = deadline
+			}
+			break
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		ev.fired = true
+		s.mu.Unlock()
+		ev.fn()
+		s.mu.Lock()
+	}
+	s.running = false
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// PendingEvents returns the number of queued (non-canceled) events,
+// useful in tests.
+func (s *Sim) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processes returns the number of live processes.
+func (s *Sim) Processes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.procs
+}
