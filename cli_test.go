@@ -89,4 +89,43 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "monitored") {
 		t.Fatalf("pairwise run failed:\n%s", out)
 	}
+
+	// The collapsed forms of the same workflow, driven by the staged
+	// pipeline: nwsdeploy maps and plans in one command ...
+	plan2 := filepath.Join(dir, "plan2.json")
+	mapping2 := filepath.Join(dir, "mapping2.xml")
+	out = run(nwsdeploy, "-map", "-topo", topoFile, "-mapping-out", mapping2, "-o", plan2)
+	if !strings.Contains(out, "complete=true") {
+		t.Fatalf("nwsdeploy -map did not validate complete:\n%s", out)
+	}
+	if _, err := os.Stat(plan2); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(mapping2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data2), "ENV_base_BW") {
+		t.Fatal("nwsdeploy -map mapping file lacks ENV properties")
+	}
+
+	// ... nwsmanager runs Map→Plan→Apply→monitor in one command ...
+	out = run(nwsmanager, "-topo", topoFile, "-auto", "-duration", "2m",
+		"-query", "moby.cri2000.ens-lyon.fr,sci3.popc.private")
+	for _, frag := range []string{"[map]", "[plan]", "[apply]", "monitored",
+		"estimate moby.cri2000.ens-lyon.fr -> sci3.popc.private", "10.00 Mbps"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("nwsmanager -auto output misses %q:\n%s", frag, out)
+		}
+	}
+
+	// ... and the same staged pipeline drives real loopback TCP sockets.
+	out = run(nwsmanager, "-tcp", "-hosts", "alpha,beta,gamma", "-duration", "3s",
+		"-query", "alpha,beta")
+	for _, frag := range []string{"[apply] starting 3 agents on tcp",
+		"latest bandwidth readings", "estimate alpha -> beta"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("nwsmanager -tcp output misses %q:\n%s", frag, out)
+		}
+	}
 }

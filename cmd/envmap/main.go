@@ -1,27 +1,29 @@
 // Command envmap runs the ENV mapper over a simulated topology and
 // prints the resulting GridML (and, with -tree, the structural and
-// effective views).
+// effective views). It drives the Map stage of the core pipeline.
 //
 //	topogen -kind enslyon -o enslyon.json
 //	envmap -topo enslyon.json -tree -o mapping.xml
 //
 // With -topo pointing at a spec that carries Masters/NamesOf metadata
 // (the enslyon kind does), envmap runs one mapping per master and merges
-// them; otherwise give -master (and optionally -hosts).
+// them (any number of runs fold into one view); otherwise give -master
+// (and optionally -hosts).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"nwsenv/internal/cli"
+	"nwsenv/internal/core"
 	"nwsenv/internal/env"
 	"nwsenv/internal/gridml"
 	"nwsenv/internal/simnet"
-	"nwsenv/internal/topo"
-	"nwsenv/internal/vclock"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	tree := flag.Bool("tree", false, "print the structural tree and network list")
 	strict := flag.Bool("strict-paper", false, "classify exactly as §4.2.2.4 (no bottleneck fallback)")
 	bidi := flag.Bool("bidirectional", false, "also measure host→master bandwidth (detects asymmetric routes, §4.3 future work)")
+	verbose := flag.Bool("v", false, "report pipeline progress on stderr")
 	out := flag.String("o", "", "GridML output file (default stdout)")
 	flag.Parse()
 
@@ -38,63 +41,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "envmap: -topo is required")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*topoFile)
+	se, err := cli.LoadSim(*topoFile)
 	check(err)
-	spec, err := topo.DecodeSpec(data)
-	check(err)
-	tp, err := spec.Build()
-	check(err)
+	sim, tp := se.Sim, se.Topo
 
-	sim := vclock.New()
-	net := simnet.NewNetwork(sim, tp)
-
-	var runs []env.Config
+	var runs []core.MapRun
 	switch {
 	case *master != "":
-		runs = []env.Config{{Master: *master, Hosts: pickHosts(tp, *hostsCSV), StrictPaper: *strict, Bidirectional: *bidi}}
-	case len(spec.Masters) > 0:
-		for _, m := range spec.Masters {
-			names := spec.NamesOf[m]
-			var hosts []string
-			for id := range names {
-				hosts = append(hosts, id)
-			}
-			if len(hosts) == 0 {
-				hosts = pickHosts(tp, "")
-			}
-			runs = append(runs, env.Config{Master: m, Hosts: sortIDs(hosts, m), Names: names, StrictPaper: *strict, Bidirectional: *bidi})
-		}
+		runs = []core.MapRun{{Master: *master, Hosts: pickHosts(tp, *hostsCSV)}}
+	case len(se.Spec.Masters) > 0:
+		runs = se.MapRuns()
 	default:
 		hosts := pickHosts(tp, *hostsCSV)
-		runs = []env.Config{{Master: hosts[0], Hosts: hosts, StrictPaper: *strict, Bidirectional: *bidi}}
+		runs = []core.MapRun{{Master: hosts[0], Hosts: hosts}}
+	}
+	for i := range runs {
+		runs[i].StrictPaper = *strict
+		runs[i].Bidirectional = *bidi
 	}
 
-	var results []*env.Result
+	opts := []core.Option{core.WithGridLabel("Grid1"), core.WithAutoAliases()}
+	if *verbose {
+		opts = append(opts, core.WithObserver(func(ph core.Phase, detail string) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", ph, detail)
+		}))
+	}
+	pl := core.NewPipeline(se.Plat, opts...)
+
+	var mapping *core.Mapping
 	var mapErr error
-	sim.Go("envmap", func() {
-		for _, cfg := range runs {
-			res, err := env.NewMapper(net, cfg).Run()
-			if err != nil {
-				mapErr = err
-				return
-			}
-			results = append(results, res)
-		}
-	})
+	sim.Go("envmap", func() { mapping, mapErr = pl.Map(context.Background(), runs...) })
 	check(sim.RunUntil(240 * time.Hour))
 	check(mapErr)
-
-	var merged *env.Merged
-	if len(results) == 1 {
-		merged = env.Single(results[0])
-	} else {
-		aliases := guessAliases(results)
-		merged, err = env.Merge("Grid1", results[0], results[1], aliases)
-		check(err)
-	}
+	merged := mapping.Merged
 
 	if *tree {
-		for i, res := range results {
+		for i, res := range mapping.Results {
 			fmt.Fprintf(os.Stderr, "== structural tree (master %s) ==\n", runs[i].Master)
 			printTree(res.Struct, 0)
 		}
@@ -133,48 +115,12 @@ func pickHosts(tp *simnet.Topology, csv string) []string {
 	return hosts
 }
 
-func sortIDs(hosts []string, master string) []string {
-	out := []string{master}
-	var rest []string
-	for _, h := range hosts {
-		if h != master {
-			rest = append(rest, h)
-		}
-	}
-	for i := 1; i < len(rest); i++ {
-		for j := i; j > 0 && rest[j] < rest[j-1]; j-- {
-			rest[j], rest[j-1] = rest[j-1], rest[j]
-		}
-	}
-	return append(out, rest...)
-}
-
 // guessAliases identifies gateways: machines appearing in both runs'
 // documents under different names but the same node (matched by IP).
+// Kept as a named entry point; the pipeline's WithAutoAliases uses the
+// same logic.
 func guessAliases(results []*env.Result) []gridml.GatewayAlias {
-	if len(results) < 2 {
-		return nil
-	}
-	byIP := map[string]string{}
-	for _, s := range results[0].Doc.Sites {
-		for _, m := range s.Machines {
-			if m.Label != nil {
-				byIP[m.Label.IP] = m.CanonicalName()
-			}
-		}
-	}
-	var out []gridml.GatewayAlias
-	for _, s := range results[1].Doc.Sites {
-		for _, m := range s.Machines {
-			if m.Label == nil {
-				continue
-			}
-			if outName, ok := byIP[m.Label.IP]; ok && outName != m.CanonicalName() {
-				out = append(out, gridml.GatewayAlias{Outside: outName, Inside: m.CanonicalName()})
-			}
-		}
-	}
-	return out
+	return env.GuessAliases(results)
 }
 
 func printTree(n *env.StructNode, depth int) {

@@ -8,12 +8,21 @@ import (
 	"nwsenv/internal/topo"
 )
 
-func TestSortIDsMasterFirst(t *testing.T) {
-	got := sortIDs([]string{"c", "a", "m", "b"}, "m")
+func TestSpecRunsMasterFirst(t *testing.T) {
+	spec := &topo.Spec{
+		Masters: []string{"m"},
+		NamesOf: map[string]map[string]string{
+			"m": {"c": "c.x.org", "a": "a.x.org", "m": "m.x.org", "b": "b.x.org"},
+		},
+	}
+	runs := spec.Runs(nil)
+	if len(runs) != 1 {
+		t.Fatalf("runs %d", len(runs))
+	}
 	want := []string{"m", "a", "b", "c"}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("got %v, want %v", got, want)
+		if runs[0].Hosts[i] != want[i] {
+			t.Fatalf("got %v, want %v", runs[0].Hosts, want)
 		}
 	}
 }

@@ -1,12 +1,20 @@
-// Command nwsmanager applies a deployment plan on a simulated topology,
-// runs the monitoring system for a while in virtual time, and reports
-// what it measured: the runtime counterpart of §5.2.
+// Command nwsmanager applies a deployment plan and runs the monitoring
+// system for a while, reporting what it measured: the runtime
+// counterpart of §5.2. It drives the core pipeline's Apply stage — or,
+// with -auto / -tcp, the whole pipeline in one command.
 //
 //	nwsmanager -topo enslyon.json -plan plan.json -duration 5m
 //	nwsmanager -topo enslyon.json -plan plan.json -query moby.cri2000.ens-lyon.fr,sci3.popc.private
+//	nwsmanager -topo enslyon.json -auto -duration 5m        # Map→Plan→Apply, no files
+//	nwsmanager -tcp -hosts alpha,beta,gamma -duration 3s    # real loopback sockets
+//
+// -auto collapses the topogen→envmap→nwsdeploy→nwsmanager file relay
+// into a single command over the simulated platform; -tcp runs the same
+// staged pipeline over real loopback TCP sockets on the wall clock.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,44 +22,186 @@ import (
 	"strings"
 	"time"
 
+	"nwsenv/internal/cli"
+	"nwsenv/internal/core"
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/gridml"
 	"nwsenv/internal/metrics"
+	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
 )
 
 func main() {
-	topoFile := flag.String("topo", "", "topology spec file (required)")
-	planFile := flag.String("plan", "", "plan/config file from nwsdeploy (required)")
+	topoFile := flag.String("topo", "", "topology spec file (required unless -tcp)")
+	planFile := flag.String("plan", "", "plan/config file from nwsdeploy")
 	gridmlFile := flag.String("gridml", "", "GridML file for name resolution (optional)")
-	duration := flag.Duration("duration", 5*time.Minute, "virtual monitoring duration")
+	auto := flag.Bool("auto", false, "run the full Map→Plan→Apply pipeline instead of reading -plan")
+	tcp := flag.Bool("tcp", false, "drive a real loopback TCP platform end to end (with -hosts)")
+	hostsCSV := flag.String("hosts", "", "with -tcp: comma-separated host IDs")
+	duration := flag.Duration("duration", 5*time.Minute, "monitoring duration (virtual, or wall-clock with -tcp)")
 	query := flag.String("query", "", "host pair to estimate afterwards: from,to")
 	pairwise := flag.Bool("pairwise", false, "drive switched cliques with the pairwise scheduler (§6 relaxation)")
 	flag.Parse()
 
-	if *topoFile == "" || *planFile == "" {
-		fmt.Fprintln(os.Stderr, "nwsmanager: -topo and -plan are required")
+	observer := core.WithObserver(func(ph core.Phase, detail string) {
+		fmt.Fprintf(os.Stderr, "[%s] %s\n", ph, detail)
+	})
+
+	if *tcp {
+		runTCP(strings.Split(*hostsCSV, ","), *duration, *query, observer)
+		return
+	}
+	if *topoFile == "" {
+		fmt.Fprintln(os.Stderr, "nwsmanager: -topo is required")
 		os.Exit(2)
 	}
-	tdata, err := os.ReadFile(*topoFile)
+	if *auto {
+		runAuto(*topoFile, *duration, *query, *pairwise, observer)
+		return
+	}
+	if *planFile == "" {
+		fmt.Fprintln(os.Stderr, "nwsmanager: -plan is required (or use -auto)")
+		os.Exit(2)
+	}
+	runFromPlan(*topoFile, *planFile, *gridmlFile, *duration, *query, *pairwise)
+}
+
+// runAuto drives the whole pipeline on the simulated platform: one
+// command instead of the topogen→envmap→nwsdeploy→nwsmanager file
+// relay.
+func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, observer core.Option) {
+	se, err := cli.LoadSim(topoFile)
+	check(err)
+	sim, net := se.Sim, se.Net
+	runs := se.MapRuns()
+	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), observer}
+	if pairwise {
+		opts = append(opts, core.WithPairwiseSwitched())
+	}
+	pl := core.NewPipeline(se.Plat, opts...)
+
+	var out *core.Outcome
+	var pipeErr error
+	done := false
+	sim.Go("pipeline", func() {
+		out, pipeErr = pl.Deploy(context.Background(), runs...)
+		done = true
+	})
+	// Advance virtual time in small steps: once the deployment is
+	// applied, its agents generate events forever, so a single long
+	// RunUntil would simulate hours of monitoring before returning.
+	for t := sim.Now() + time.Minute; !done && t <= 240*time.Hour; t += time.Minute {
+		check(sim.RunUntil(t))
+	}
+	check(pipeErr)
+	if !done {
+		check(fmt.Errorf("pipeline did not finish within the virtual time budget"))
+	}
+
+	base := sim.Now()
+	check(sim.RunUntil(base + duration))
+	reportSim(net, duration)
+	if query != "" {
+		querySim(sim, out.Deployment, out.Plan, query, base+duration)
+	}
+	out.Deployment.Stop()
+}
+
+// runTCP drives the staged pipeline over real loopback TCP sockets: the
+// same code path as the simulator, on the wall clock.
+func runTCP(hosts []string, duration time.Duration, query string, observer core.Option) {
+	seen := map[string]bool{}
+	for i, h := range hosts {
+		h = strings.TrimSpace(h)
+		hosts[i] = h
+		if h == "" {
+			fmt.Fprintln(os.Stderr, "nwsmanager: -tcp -hosts contains an empty host ID")
+			os.Exit(2)
+		}
+		if seen[h] {
+			fmt.Fprintf(os.Stderr, "nwsmanager: -tcp -hosts repeats %q\n", h)
+			os.Exit(2)
+		}
+		seen[h] = true
+	}
+	if len(hosts) < 2 {
+		fmt.Fprintln(os.Stderr, "nwsmanager: -tcp needs -hosts with at least two IDs")
+		os.Exit(2)
+	}
+	plat := platform.NewTCPPlatform(hosts)
+	pl := core.NewPipeline(plat,
+		core.WithGridLabel("loopback"),
+		core.WithTokenGap(50*time.Millisecond),
+		observer)
+
+	ctx := context.Background()
+	m, err := pl.Map(ctx, core.MapRun{Master: hosts[0], Hosts: hosts})
+	check(err)
+	pr, err := pl.Plan(m)
+	check(err)
+	dep, err := pl.Apply(ctx, pr)
+	check(err)
+	defer dep.Stop()
+
+	fmt.Printf("monitoring %d hosts over loopback TCP for %v ...\n", len(hosts), duration)
+	time.Sleep(duration)
+
+	// Read back the freshest samples through a real client station.
+	ep, err := plat.Transport().Open("nwsmanager-client")
+	check(err)
+	client := proto.NewStation(plat.Runtime(), ep)
+	defer client.Close()
+	memHost := m.Resolve[pr.Plan.MemoryOf[pr.Plan.Master]]
+	mc := memory.NewClient(client, memHost)
+	fmt.Println("  latest bandwidth readings:")
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			samples, err := mc.Fetch(sensor.BandwidthSeries(m.Resolve[a], m.Resolve[b]), 1)
+			if err != nil || len(samples) == 0 {
+				continue
+			}
+			fmt.Printf("    %-20s %8.2f Mbps (%d samples seen)\n", a+" -> "+b, samples[0].Value, len(samples))
+		}
+	}
+	if query != "" {
+		parts := strings.SplitN(query, ",", 2)
+		if len(parts) != 2 {
+			check(fmt.Errorf("bad -query %q", query))
+		}
+		master := dep.Agents[pr.Plan.Master]
+		est, err := dep.Estimator(master.Station()).Estimate(parts[0], parts[1])
+		check(err)
+		fmt.Printf("estimate %s -> %s: %.2f Mbps, %.2f ms RTT\n",
+			parts[0], parts[1], est.BandwidthMbps, est.LatencyMS)
+	}
+}
+
+// runFromPlan keeps the file-based workflow: apply a published plan on
+// the simulated topology.
+func runFromPlan(topoFile, planFile, gridmlFile string, duration time.Duration, query string, pairwise bool) {
+	tdata, err := os.ReadFile(topoFile)
 	check(err)
 	spec, err := topo.DecodeSpec(tdata)
 	check(err)
 	tp, err := spec.Build()
 	check(err)
-	pdata, err := os.ReadFile(*planFile)
+	pdata, err := os.ReadFile(planFile)
 	check(err)
 	plan, err := deploy.DecodeConfig(pdata)
 	check(err)
 
 	resolve := map[string]string{}
 	var doc *gridml.Document
-	if *gridmlFile != "" {
-		gdata, err := os.ReadFile(*gridmlFile)
+	if gridmlFile != "" {
+		gdata, err := os.ReadFile(gridmlFile)
 		check(err)
 		doc, err = gridml.Decode(gdata)
 		check(err)
@@ -86,14 +236,23 @@ func main() {
 	tr := proto.NewSimTransport(net)
 	dep, err := deploy.Apply(tr, sensor.SimProber{Net: net}, plan, resolve, deploy.ApplyOptions{
 		TokenGap:         time.Second,
-		PairwiseSwitched: *pairwise,
+		PairwiseSwitched: pairwise,
 	})
 	check(err)
 
-	check(sim.RunUntil(*duration))
+	check(sim.RunUntil(duration))
+	reportSim(net, duration)
+	if query != "" {
+		querySim(sim, dep, plan, query, duration)
+	}
+	dep.Stop()
+}
 
-	report := metrics.Observe(net, "", *duration)
-	fmt.Printf("monitored %v of virtual time\n", *duration)
+// reportSim prints the §2.3 observability report for a monitoring
+// window.
+func reportSim(net *simnet.Network, duration time.Duration) {
+	report := metrics.Observe(net, "", duration)
+	fmt.Printf("monitored %v of virtual time\n", duration)
 	fmt.Printf("  probes        : %d (%.1f MB injected)\n", report.Probes, float64(report.ProbeBytes)/1e6)
 	fmt.Printf("  collisions    : %d (rate %.4f)\n", report.Collisions, report.CollisionRate)
 	fmt.Printf("  pair frequency: min %.2f/min max %.2f/min over %d measured pairs\n",
@@ -119,33 +278,33 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("    %-30s %8.2f Mbps\n", r.pair, r.bps/1e6)
 	}
+}
 
-	if *query != "" {
-		parts := strings.SplitN(*query, ",", 2)
-		if len(parts) != 2 {
-			check(fmt.Errorf("bad -query %q", *query))
-		}
-		var est deploy.LinkEstimate
-		var qerr error
-		sim.Go("query", func() {
-			master := dep.Agents[plan.Master]
-			if master == nil {
-				qerr = fmt.Errorf("master agent %q missing", plan.Master)
-				return
-			}
-			es := dep.Estimator(master.Station())
-			est, qerr = es.Estimate(parts[0], parts[1])
-		})
-		check(sim.RunUntil(*duration + time.Minute))
-		check(qerr)
-		kind := "composed via " + strings.Join(est.Via, ", ")
-		if est.Direct {
-			kind = "direct measurement"
-		}
-		fmt.Printf("estimate %s -> %s: %.2f Mbps, %.2f ms RTT (%s)\n",
-			parts[0], parts[1], est.BandwidthMbps, est.LatencyMS, kind)
+// querySim composes an end-to-end estimate from the running deployment.
+func querySim(sim *vclock.Sim, dep *deploy.Deployment, plan *deploy.Plan, query string, until time.Duration) {
+	parts := strings.SplitN(query, ",", 2)
+	if len(parts) != 2 {
+		check(fmt.Errorf("bad -query %q", query))
 	}
-	dep.Stop()
+	var est deploy.LinkEstimate
+	var qerr error
+	sim.Go("query", func() {
+		master := dep.Agents[plan.Master]
+		if master == nil {
+			qerr = fmt.Errorf("master agent %q missing", plan.Master)
+			return
+		}
+		es := dep.Estimator(master.Station())
+		est, qerr = es.Estimate(parts[0], parts[1])
+	})
+	check(sim.RunUntil(until + time.Minute))
+	check(qerr)
+	kind := "composed via " + strings.Join(est.Via, ", ")
+	if est.Direct {
+		kind = "direct measurement"
+	}
+	fmt.Printf("estimate %s -> %s: %.2f Mbps, %.2f ms RTT (%s)\n",
+		parts[0], parts[1], est.BandwidthMbps, est.LatencyMS, kind)
 }
 
 func check(err error) {

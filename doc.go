@@ -7,7 +7,12 @@
 // network mapper, and the automatic deployment planner that ties them
 // together.
 //
-// The entry point for the paper's pipeline is internal/core.AutoDeploy;
-// the benchmark harness in bench_test.go regenerates every figure and
-// quantitative claim of the paper (see EXPERIMENTS.md).
+// The entry point for the paper's pipeline is internal/core.Pipeline:
+// a staged Map → Plan → Apply API over the platform abstraction of
+// internal/platform, so the same code path drives the simulated testbed
+// (SimPlatform) and real loopback TCP sockets (TCPPlatform);
+// core.AutoDeploy remains as a one-call wrapper over the simulator. The
+// benchmark harness in bench_test.go regenerates every figure and
+// quantitative claim of the paper (see EXPERIMENTS.md); README.md holds
+// the API quickstart.
 package nwsenv

@@ -1,13 +1,14 @@
-// The paper's scenario end to end: the ENS-Lyon LAN is mapped from both
-// sides of the popc.private firewall, the two GridML documents are
-// merged via the gateway aliases, the NWS deployment plan of Figure 3 is
-// derived and applied, and the running system answers queries — including
-// pairs no clique ever measures directly.
+// The paper's scenario end to end, through the staged pipeline API: the
+// ENS-Lyon LAN is mapped from both sides of the popc.private firewall
+// (Map), the merged view yields the deployment plan of Figure 3 (Plan),
+// the plan is applied (Apply), and the running system answers queries —
+// including pairs no clique ever measures directly.
 //
 //	go run ./examples/enslyon
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"nwsenv/internal/nws/forecast"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
@@ -28,15 +30,40 @@ func main() {
 	e := topo.NewEnsLyon()
 	sim := vclock.New()
 	net := simnet.NewNetwork(sim, e.Topo)
-	tr := proto.NewSimTransport(net)
+	plat := platform.NewSimPlatform(net, proto.NewSimTransport(net))
 
-	opts := core.EnsLyonOptions(e.OutsideMaster, e.OutsideHosts, e.OutsideNames,
-		e.InsideMaster, e.InsideHosts, e.InsideNames, e.GatewayAliases)
-	opts.HostSensorPeriod = 30 * time.Second
+	pl := core.NewPipeline(plat,
+		core.WithAliases(e.GatewayAliases...),
+		core.WithTokenGap(time.Second),
+		core.WithHostSensors(30*time.Second),
+	)
 
+	// The three stages, called separately: each returns its artifact, so
+	// a CLI could stop here and publish the mapping or the plan.
 	var out *core.Outcome
 	var err error
-	sim.Go("autodeploy", func() { out, err = core.AutoDeploy(net, tr, opts) })
+	sim.Go("autodeploy", func() {
+		ctx := context.Background()
+		var m *core.Mapping
+		m, err = pl.Map(ctx,
+			core.MapRun{Master: e.OutsideMaster, Hosts: e.OutsideHosts, Names: e.OutsideNames},
+			core.MapRun{Master: e.InsideMaster, Hosts: e.InsideHosts, Names: e.InsideNames})
+		if err != nil {
+			return
+		}
+		var pr *core.PlanResult
+		pr, err = pl.Plan(m)
+		if err != nil {
+			return
+		}
+		d, aerr := pl.Apply(ctx, pr)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		out = &core.Outcome{Results: m.Results, Merged: m.Merged, Plan: pr.Plan,
+			Validation: pr.Validation, Deployment: d, Resolve: m.Resolve}
+	})
 	if er := sim.RunUntil(4 * time.Hour); er != nil {
 		log.Fatal(er)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"nwsenv/internal/core"
 	"nwsenv/internal/metrics"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
@@ -25,7 +27,7 @@ func main() {
 	tp := topo.TwoSite(4, 5)
 	sim := vclock.New()
 	net := simnet.NewNetwork(sim, tp)
-	tr := proto.NewSimTransport(net)
+	plat := platform.NewSimPlatform(net, proto.NewSimTransport(net))
 
 	var hosts []string
 	for _, h := range tp.HostIDs() {
@@ -34,13 +36,11 @@ func main() {
 		}
 	}
 
+	pl := core.NewPipeline(plat, core.WithTokenGap(2*time.Second))
 	var out *core.Outcome
 	var err error
 	sim.Go("autodeploy", func() {
-		out, err = core.AutoDeploy(net, tr, core.Options{
-			Runs:     []core.MapRun{{Master: "a0", Hosts: hosts}},
-			TokenGap: 2 * time.Second,
-		})
+		out, err = pl.Deploy(context.Background(), core.MapRun{Master: "a0", Hosts: hosts})
 	})
 	if er := sim.RunUntil(4 * time.Hour); er != nil {
 		log.Fatal(er)

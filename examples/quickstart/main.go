@@ -2,12 +2,14 @@
 //
 //	go run ./examples/quickstart
 //
-// It builds a random hierarchical LAN, maps it with ENV, plans the NWS
-// deployment, applies it, lets it monitor for five virtual minutes, and
-// asks the forecaster about a pair that was never measured directly.
+// It builds a random hierarchical LAN, wraps it as a Platform, runs the
+// staged pipeline (Map → Plan → Apply) with a progress observer, lets
+// the deployment monitor for five virtual minutes, and asks the
+// forecaster about a pair that was never measured directly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"nwsenv/internal/core"
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
@@ -25,7 +28,7 @@ func main() {
 	tp, truth := topo.RandomLAN(42, 3, 4)
 	sim := vclock.New()
 	net := simnet.NewNetwork(sim, tp)
-	tr := proto.NewSimTransport(net)
+	plat := platform.NewSimPlatform(net, proto.NewSimTransport(net))
 
 	var hosts []string
 	for _, h := range tp.HostIDs() {
@@ -34,13 +37,17 @@ func main() {
 		}
 	}
 
+	pl := core.NewPipeline(plat,
+		core.WithTokenGap(time.Second),
+		core.WithObserver(func(ph core.Phase, detail string) {
+			fmt.Printf("[%s] %s\n", ph, detail)
+		}),
+	)
+
 	var out *core.Outcome
 	var err error
 	sim.Go("autodeploy", func() {
-		out, err = core.AutoDeploy(net, tr, core.Options{
-			Runs:     []core.MapRun{{Master: hosts[0], Hosts: hosts}},
-			TokenGap: time.Second,
-		})
+		out, err = pl.Deploy(context.Background(), core.MapRun{Master: hosts[0], Hosts: hosts})
 	})
 	if e := sim.RunUntil(2 * time.Hour); e != nil {
 		log.Fatal(e)

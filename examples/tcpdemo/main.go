@@ -1,23 +1,26 @@
-// TCP demo: the complete NWS control plane — name server, memory server,
-// forecaster and a measurement clique — running over real loopback TCP
-// sockets on the wall clock, no simulator involved. Probes are stubbed
-// (loopback has no interesting bandwidth), but every registry, storage,
-// token-ring and forecasting message is a real gob-encoded TCP exchange.
+// TCP demo: the complete deployment pipeline — Map, Plan, Apply — over
+// real loopback TCP sockets on the wall clock, no simulator involved.
+// The TCPPlatform supplies a static segment view for mapping and a
+// canned prober (loopback has no interesting bandwidth), but every
+// registry, storage, token-ring and forecasting message of the deployed
+// system is a real gob-encoded TCP exchange, driven by the exact same
+// pipeline code path the simulator uses.
 //
 //	go run ./examples/tcpdemo
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"nwsenv/internal/nws/clique"
+	"nwsenv/internal/core"
 	"nwsenv/internal/nws/forecast"
 	"nwsenv/internal/nws/memory"
-	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/platform"
 )
 
 // demoProber fakes the measurements with a slowly drifting bandwidth so
@@ -44,48 +47,46 @@ func osc(x float64) float64 {
 }
 
 func main() {
-	tr := proto.NewTCPTransport()
-	rt := tr.Runtime()
-	open := func(h string) *proto.Station {
-		ep, err := tr.Open(h)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return proto.NewStation(rt, ep)
-	}
-
-	stNS := open("ns")
-	go nameserver.New(stNS).Run()
-	stMem := open("mem")
-	go memory.New(stMem, nameserver.NewClient(stMem, "ns")).Run()
-	stFc := open("fc")
-	go forecast.NewServer(stFc, nameserver.NewClient(stFc, "ns"), 0).Run()
-
 	hosts := []string{"alpha", "beta", "gamma"}
-	cfg := clique.Config{
-		Name: "demo", Members: hosts,
-		TokenGap:     50 * time.Millisecond,
-		AckTimeout:   500 * time.Millisecond,
-		TokenTimeout: 3 * time.Second,
+	plat := platform.NewTCPPlatform(hosts,
+		platform.WithTCPProber(demoProber{start: time.Now()}))
+
+	pl := core.NewPipeline(plat,
+		core.WithGridLabel("loopback"),
+		core.WithTokenGap(50*time.Millisecond),
+		core.WithObserver(func(ph core.Phase, detail string) {
+			fmt.Printf("[%s] %s\n", ph, detail)
+		}),
+	)
+
+	ctx := context.Background()
+	m, err := pl.Map(ctx, core.MapRun{Master: "alpha", Hosts: hosts})
+	if err != nil {
+		log.Fatal(err)
 	}
-	prober := demoProber{start: time.Now()}
-	var members []*clique.Member
-	for _, h := range hosts {
-		st := open(h)
-		mc := memory.NewClient(st, "mem")
-		m := clique.NewMember(cfg, st, prober, func(meas sensor.Measurement) {
-			mc.Store(meas.Series, proto.Sample{At: meas.At, Value: meas.Value})
-		})
-		members = append(members, m)
-		go m.Run()
+	pr, err := pl.Plan(m)
+	if err != nil {
+		log.Fatal(err)
 	}
+	dep, err := pl.Apply(ctx, pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Stop()
 
 	fmt.Println("NWS running over loopback TCP; letting the token circulate for 3 s ...")
 	time.Sleep(3 * time.Second)
 
-	client := open("client")
+	ep, err := plat.Transport().Open("client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := proto.NewStation(plat.Runtime(), ep)
+	defer client.Close()
+
 	series := sensor.BandwidthSeries("alpha", "beta")
-	samples, err := memory.NewClient(client, "mem").Fetch(series, 5)
+	memHost := m.Resolve[pr.Plan.MemoryOf["alpha"]]
+	samples, err := memory.NewClient(client, memHost).Fetch(series, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,18 +95,12 @@ func main() {
 		fmt.Printf("  t=%8v  %.2f Mbps\n", s.At.Round(time.Millisecond), s.Value)
 	}
 
-	pred, err := forecast.NewClient(client, "fc").Forecast(series, 0)
+	fcHost := m.Resolve[pr.Plan.Forecaster]
+	pred, err := forecast.NewClient(client, fcHost).Forecast(series, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("forecast: %.2f Mbps (method %s over %d samples, MAE %.3f)\n",
 		pred.Value, pred.Method, pred.N, pred.MAE)
-
-	for _, m := range members {
-		m.Stop()
-	}
-	for _, st := range []*proto.Station{stNS, stMem, stFc, client} {
-		st.Close()
-	}
 	fmt.Println("done: every exchange above was a real TCP message.")
 }

@@ -1,0 +1,3 @@
+module nwsenv
+
+go 1.24

@@ -1,0 +1,61 @@
+// Package cli shares the simulated-platform bootstrap the command-line
+// tools repeat: read a topology spec, build the network, wrap it as a
+// Platform, and derive the pipeline's mapping runs from the spec
+// metadata.
+package cli
+
+import (
+	"os"
+
+	"nwsenv/internal/core"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/platform"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/topo"
+	"nwsenv/internal/vclock"
+)
+
+// SimEnv bundles everything a command needs to drive the pipeline on a
+// simulated platform built from a spec file.
+type SimEnv struct {
+	Spec *topo.Spec
+	Topo *simnet.Topology
+	Sim  *vclock.Sim
+	Net  *simnet.Network
+	Plat *platform.SimPlatform
+}
+
+// LoadSim reads and builds a topology spec file into a ready simulated
+// platform.
+func LoadSim(topoFile string) (*SimEnv, error) {
+	data, err := os.ReadFile(topoFile)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := topo.DecodeSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	sim := vclock.New()
+	net := simnet.NewNetwork(sim, tp)
+	return &SimEnv{
+		Spec: spec,
+		Topo: tp,
+		Sim:  sim,
+		Net:  net,
+		Plat: platform.NewSimPlatform(net, proto.NewSimTransport(net)),
+	}, nil
+}
+
+// MapRuns converts the spec's metadata-derived runs into pipeline runs.
+func (e *SimEnv) MapRuns() []core.MapRun {
+	var runs []core.MapRun
+	for _, r := range e.Spec.Runs(e.Topo) {
+		runs = append(runs, core.MapRun{Master: r.Master, Hosts: r.Hosts, Names: r.Names})
+	}
+	return runs
+}

@@ -1,19 +1,26 @@
 // Package core is the paper's contribution end to end: automatic NWS
-// deployment driven by ENV mapping. AutoDeploy chains the three phases
-// the introduction identifies — gather the underlying network topology,
-// compute a deployment plan, apply it on the platform — over the
-// simulated testbed substrate.
+// deployment driven by ENV mapping, as a staged pipeline over an
+// abstract platform. The three phases the introduction identifies —
+// gather the underlying network topology, compute a deployment plan,
+// apply it on the platform — are Pipeline.Map, Pipeline.Plan and
+// Pipeline.Apply; each stage returns its intermediate artifact and
+// honors context cancellation. The platform (simulated testbed or real
+// TCP sockets) is injected through platform.Platform, so the same
+// pipeline code path drives both.
+//
+// AutoDeploy remains as a one-call convenience wrapper over the
+// simulated platform.
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/env"
 	"nwsenv/internal/gridml"
 	"nwsenv/internal/nws/proto"
-	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 )
 
@@ -29,9 +36,14 @@ type MapRun struct {
 	Thresholds env.Thresholds
 	// StrictPaper selects the unmodified §4.2.2.4 classification.
 	StrictPaper bool
+	// Bidirectional also measures host→master bandwidth, exposing
+	// asymmetric routes (§4.3 future work).
+	Bidirectional bool
 }
 
-// Options configure AutoDeploy.
+// Options configure AutoDeploy. New code should prefer NewPipeline with
+// functional options; Options remains as the configuration surface of
+// the compatibility wrapper.
 type Options struct {
 	// Runs lists the ENV runs; several runs are merged with Aliases
 	// (§4.3 firewall handling). At least one is required.
@@ -51,7 +63,31 @@ type Options struct {
 	PlanOnly bool
 }
 
-// Outcome is everything AutoDeploy produced.
+// options converts the positional struct to functional options.
+func (o Options) options() []Option {
+	var opts []Option
+	if o.GridLabel != "" {
+		opts = append(opts, WithGridLabel(o.GridLabel))
+	}
+	if o.Master != "" {
+		opts = append(opts, WithMaster(o.Master))
+	}
+	if len(o.Aliases) > 0 {
+		opts = append(opts, WithAliases(o.Aliases...))
+	}
+	if o.TokenGap > 0 {
+		opts = append(opts, WithTokenGap(o.TokenGap))
+	}
+	if o.HostSensorPeriod > 0 {
+		opts = append(opts, WithHostSensors(o.HostSensorPeriod))
+	}
+	if o.PlanOnly {
+		opts = append(opts, WithPlanOnly())
+	}
+	return opts
+}
+
+// Outcome is everything a full pipeline run produced.
 type Outcome struct {
 	// Results holds the per-run mapping results in Runs order.
 	Results []*env.Result
@@ -69,120 +105,13 @@ type Outcome struct {
 }
 
 // AutoDeploy maps the platform with ENV, plans the NWS deployment, and
-// applies it. It must be called from a simulation process.
+// applies it on the simulated testbed. It must be called from a
+// simulation process. It is a thin wrapper over the staged pipeline; use
+// NewPipeline directly for other platforms, cancellation, or stagewise
+// control.
 func AutoDeploy(net *simnet.Network, tr *proto.SimTransport, opts Options) (*Outcome, error) {
-	if len(opts.Runs) == 0 {
-		return nil, fmt.Errorf("core: no mapping runs configured")
-	}
-	if opts.GridLabel == "" {
-		opts.GridLabel = "Grid1"
-	}
-
-	out := &Outcome{Resolve: map[string]string{}}
-
-	// Phase 1: gather the topology (one ENV run per firewall side).
-	for _, run := range opts.Runs {
-		cfg := env.Config{
-			Master:      run.Master,
-			Hosts:       run.Hosts,
-			Names:       run.Names,
-			Thresholds:  run.Thresholds,
-			StrictPaper: run.StrictPaper,
-		}
-		res, err := env.NewMapper(net, cfg).Run()
-		if err != nil {
-			return nil, fmt.Errorf("core: mapping from %s: %w", run.Master, err)
-		}
-		out.Results = append(out.Results, res)
-	}
-	switch len(out.Results) {
-	case 1:
-		out.Merged = env.Single(out.Results[0])
-	case 2:
-		m, err := env.Merge(opts.GridLabel, out.Results[0], out.Results[1], opts.Aliases)
-		if err != nil {
-			return nil, err
-		}
-		out.Merged = m
-	default:
-		// Fold left over successive merges.
-		m, err := env.Merge(opts.GridLabel, out.Results[0], out.Results[1], opts.Aliases)
-		if err != nil {
-			return nil, err
-		}
-		for _, more := range out.Results[2:] {
-			m2, err := env.Merge(opts.GridLabel, &env.Result{Doc: m.Doc, Networks: m.Networks, Stats: m.Stats}, more, opts.Aliases)
-			if err != nil {
-				return nil, err
-			}
-			m = m2
-		}
-		out.Merged = m
-	}
-
-	// Resolve canonical names to node IDs using run metadata and DNS.
-	topoRef := net.Topology()
-	record := func(id string, name string) {
-		if m := out.Merged.Doc.FindMachine(name); m != nil {
-			out.Resolve[m.CanonicalName()] = id
-		}
-	}
-	for _, run := range opts.Runs {
-		for _, id := range run.Hosts {
-			if n, ok := run.Names[id]; ok {
-				record(id, n)
-				continue
-			}
-			if node := topoRef.Node(id); node != nil && node.DNS != "" {
-				record(id, node.DNS)
-			} else {
-				record(id, id)
-			}
-		}
-	}
-
-	// Phase 2: compute the deployment plan.
-	master := opts.Master
-	if master == "" {
-		first := opts.Runs[0]
-		if n, ok := first.Names[first.Master]; ok {
-			master = n
-		} else if node := topoRef.Node(first.Master); node != nil && node.DNS != "" {
-			master = node.DNS
-		} else {
-			master = first.Master
-		}
-	}
-	plan, err := deploy.NewPlan(out.Merged, deploy.PlanConfig{Master: master, TokenGap: opts.TokenGap})
-	if err != nil {
-		return nil, err
-	}
-	out.Plan = plan
-
-	v, err := deploy.Validate(plan, topoRef, out.Resolve)
-	if err != nil {
-		return nil, err
-	}
-	out.Validation = v
-	if !v.Complete {
-		return nil, fmt.Errorf("core: planned deployment incomplete: %v", v.MissingPairs)
-	}
-
-	if opts.PlanOnly {
-		return out, nil
-	}
-
-	// Phase 3: apply the plan.
-	net.ResetAccounting() // separate the monitoring era from the mapping era
-	dep, err := deploy.Apply(tr, sensor.SimProber{Net: net}, plan, out.Resolve, deploy.ApplyOptions{
-		TokenGap:         opts.TokenGap,
-		HostSensorPeriod: opts.HostSensorPeriod,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out.Deployment = dep
-	return out, nil
+	pl := NewPipeline(platform.NewSimPlatform(net, tr), opts.options()...)
+	return pl.Deploy(context.Background(), opts.Runs...)
 }
 
 // EnsLyonOptions returns the canonical two-run configuration for the

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"time"
+
+	"nwsenv/internal/gridml"
+)
+
+// Phase identifies a pipeline stage for progress observers.
+type Phase string
+
+const (
+	// PhaseMap is the ENV topology-gathering stage.
+	PhaseMap Phase = "map"
+	// PhasePlan is the §5.1 planning (and validation) stage.
+	PhasePlan Phase = "plan"
+	// PhaseApply is the §5.2 deployment stage.
+	PhaseApply Phase = "apply"
+)
+
+// ProgressFunc observes phase transitions and per-phase progress; detail
+// is a human-readable line. CLIs use it to report what the pipeline is
+// doing.
+type ProgressFunc func(phase Phase, detail string)
+
+// config collects the pipeline's tunables; Options build it.
+type config struct {
+	gridLabel        string
+	master           string
+	aliases          []gridml.GatewayAlias
+	tokenGap         time.Duration
+	hostSensorPeriod time.Duration
+	pairwiseSwitched bool
+	planOnly         bool
+	autoAliases      bool
+	observer         ProgressFunc
+}
+
+// Option configures a Pipeline.
+type Option func(*config)
+
+// WithGridLabel names the merged GridML document (default "Grid1").
+func WithGridLabel(label string) Option {
+	return func(c *config) { c.gridLabel = label }
+}
+
+// WithMaster sets the canonical machine name hosting the name server and
+// forecaster. Defaults to the first run's master.
+func WithMaster(name string) Option {
+	return func(c *config) { c.master = name }
+}
+
+// WithAliases cross-identifies gateways between mapping runs (§4.3
+// firewall handling).
+func WithAliases(aliases ...gridml.GatewayAlias) Option {
+	return func(c *config) { c.aliases = append(c.aliases, aliases...) }
+}
+
+// WithAutoAliases makes Map guess gateway aliases by matching machine
+// IPs across runs when no explicit aliases are configured: dual-homed
+// gateways appear in both firewall-side runs under different names but
+// the same address.
+func WithAutoAliases() Option {
+	return func(c *config) { c.autoAliases = true }
+}
+
+// WithTokenGap paces the deployed cliques.
+func WithTokenGap(gap time.Duration) Option {
+	return func(c *config) { c.tokenGap = gap }
+}
+
+// WithHostSensors enables CPU/memory sensors sampling at the given
+// period.
+func WithHostSensors(period time.Duration) Option {
+	return func(c *config) { c.hostSensorPeriod = period }
+}
+
+// WithPairwiseSwitched drives switched-network cliques with the
+// round-robin pairwise scheduler instead of a token ring (the paper's §6
+// relaxation).
+func WithPairwiseSwitched() Option {
+	return func(c *config) { c.pairwiseSwitched = true }
+}
+
+// WithPlanOnly makes Deploy stop after planning and validation, without
+// starting agents. The staged API makes this implicit — just don't call
+// Apply — but the one-shot Deploy keeps it as an option.
+func WithPlanOnly() Option {
+	return func(c *config) { c.planOnly = true }
+}
+
+// WithObserver registers a progress hook for phase transitions.
+func WithObserver(fn ProgressFunc) Option {
+	return func(c *config) { c.observer = fn }
+}

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,9 +47,25 @@ type Deployment struct {
 //
 // resolve maps canonical machine names to transport host IDs.
 func Apply(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions) (*Deployment, error) {
-	agents, err := buildAgents(tr, prober, plan, resolve, opts, nil)
+	return ApplyContext(context.Background(), tr, prober, plan, resolve, opts)
+}
+
+// ApplyContext is Apply with cancellation: ctx is checked while agents
+// are constructed and before they start, so an aborted deployment leaves
+// no agent running (already-built agents are torn down).
+func ApplyContext(ctx context.Context, tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions) (*Deployment, error) {
+	agents, err := buildAgents(ctx, tr, prober, plan, resolve, opts, nil)
 	if err != nil {
+		for _, a := range agents {
+			a.Stop()
+		}
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		for _, a := range agents {
+			a.Stop()
+		}
+		return nil, fmt.Errorf("deploy: apply aborted: %w", err)
 	}
 	dep := &Deployment{
 		Plan:    plan,
@@ -66,8 +83,10 @@ func Apply(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[str
 }
 
 // buildAgents constructs (without starting) the agents for the plan's
-// hosts; when only is non-nil, just for that subset.
-func buildAgents(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions, only []string) (map[string]*host.Agent, error) {
+// hosts; when only is non-nil, just for that subset. On error the agents
+// built so far are returned alongside it so the caller can tear them
+// down (their endpoints are already open).
+func buildAgents(ctx context.Context, tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions, only []string) (map[string]*host.Agent, error) {
 	if opts.TokenGap <= 0 {
 		opts.TokenGap = time.Second
 	}
@@ -131,13 +150,16 @@ func buildAgents(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve m
 		if only != nil && !contains(only, name) {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return agents, fmt.Errorf("deploy: apply aborted: %w", err)
+		}
 		node, err := id(name)
 		if err != nil {
-			return nil, err
+			return agents, err
 		}
 		memNode, err := id(plan.MemoryOf[name])
 		if err != nil {
-			return nil, err
+			return agents, err
 		}
 		roles := host.Roles{
 			NSHost:           nsNode,
@@ -157,7 +179,7 @@ func buildAgents(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve m
 		}
 		ag, err := host.NewAgent(tr, node, roles, prober)
 		if err != nil {
-			return nil, err
+			return agents, err
 		}
 		agents[name] = ag
 	}

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -57,8 +58,11 @@ func (d *Deployment) Update(tr proto.Transport, prober sensor.Prober, newPlan *P
 
 	// Rebuild a full deployment description for the new plan, but only
 	// instantiate agents for the restart set.
-	fresh, err := buildAgents(tr, prober, newPlan, resolve, opts, restart)
+	fresh, err := buildAgents(context.Background(), tr, prober, newPlan, resolve, opts, restart)
 	if err != nil {
+		for _, ag := range fresh {
+			ag.Stop()
+		}
 		return nil, err
 	}
 	for h, ag := range fresh {

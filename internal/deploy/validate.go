@@ -37,9 +37,12 @@ type CollisionRisk struct {
 	PairA, PairB     [2]string
 }
 
-// Validate checks a plan against the §2.3 constraints on the true
-// topology. resolve maps canonical machine names to simulator node IDs.
-func Validate(p *Plan, topo *simnet.Topology, resolve map[string]string) (*Validation, error) {
+// ValidateConnectivity checks the topology-independent §2.3 constraints:
+// completeness (every host pair measured or estimable by composition),
+// direct-pair intrusiveness, and the largest clique size. Platforms
+// without a known ground-truth topology (real deployments) use it as
+// their whole validation; Validate builds on it.
+func ValidateConnectivity(p *Plan) *Validation {
 	v := &Validation{}
 	for _, c := range p.Cliques {
 		if len(c.Members) > v.MaxCliqueSize {
@@ -58,6 +61,13 @@ func Validate(p *Plan, topo *simnet.Topology, resolve map[string]string) (*Valid
 	// values are irrelevant here, only connectivity).
 	est := NewEstimator(p, func(a, b string) (float64, float64, bool) { return 1, 1, true })
 	v.Complete, v.MissingPairs = est.Complete()
+	return v
+}
+
+// Validate checks a plan against the §2.3 constraints on the true
+// topology. resolve maps canonical machine names to simulator node IDs.
+func Validate(p *Plan, topo *simnet.Topology, resolve map[string]string) (*Validation, error) {
+	v := ValidateConnectivity(p)
 
 	// Inter-clique collision analysis on the physical topology.
 	id := func(name string) (string, error) {

@@ -41,7 +41,6 @@ import (
 	"time"
 
 	"nwsenv/internal/gridml"
-	"nwsenv/internal/simnet"
 )
 
 // Thresholds are the empirical constants of §4.2.2.
@@ -232,7 +231,7 @@ type Result struct {
 	Stats    Stats
 }
 
-func (c Config) withDefaults(t *simnet.Topology) Config {
+func (c Config) withDefaults(sub Substrate) Config {
 	if c.Thresholds == (Thresholds{}) {
 		c.Thresholds = DefaultThresholds()
 	}
@@ -246,7 +245,7 @@ func (c Config) withDefaults(t *simnet.Topology) Config {
 		c.JamFactor = 8
 	}
 	if c.External == "" {
-		c.External = t.ExternalTarget
+		c.External = sub.ExternalTarget()
 	}
 	if c.GridLabel == "" {
 		c.GridLabel = "Grid-" + c.Master
@@ -255,12 +254,12 @@ func (c Config) withDefaults(t *simnet.Topology) Config {
 }
 
 // displayName resolves a node ID to its GridML name.
-func (c Config) displayName(t *simnet.Topology, id string) string {
+func (c Config) displayName(sub Substrate, id string) string {
 	if n, ok := c.Names[id]; ok && n != "" {
 		return n
 	}
-	if node := t.Node(id); node != nil && node.DNS != "" {
-		return node.DNS
+	if info, ok := sub.HostInfo(id); ok && info.DNS != "" {
+		return info.DNS
 	}
 	return id
 }

@@ -1,32 +1,43 @@
 package env
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"nwsenv/internal/gridml"
 	"nwsenv/internal/simnet"
-	"nwsenv/internal/vclock"
 )
 
-// Mapper executes ENV runs on a simulated network.
+// Mapper executes ENV runs on a mapping substrate.
 type Mapper struct {
-	net *simnet.Network
+	sub Substrate
 	cfg Config
+	ctx context.Context
 
 	stats Stats
 }
 
-// NewMapper prepares a run; Run must be called from a simulation
-// process.
+// NewMapper prepares a run over a simulated network; Run must be called
+// from a simulation process. It is shorthand for NewMapperOn with a
+// SimSubstrate.
 func NewMapper(net *simnet.Network, cfg Config) *Mapper {
-	return &Mapper{net: net, cfg: cfg.withDefaults(net.Topology())}
+	return NewMapperOn(SimSubstrate{Net: net}, cfg)
+}
+
+// NewMapperOn prepares a run over an arbitrary substrate.
+func NewMapperOn(sub Substrate, cfg Config) *Mapper {
+	return &Mapper{sub: sub, cfg: cfg.withDefaults(sub)}
 }
 
 // Run performs the full ENV pipeline and returns the mapping result.
-func (m *Mapper) Run() (*Result, error) {
-	t := m.net.Topology()
-	m.stats.Started = m.net.Sim().Now()
+func (m *Mapper) Run() (*Result, error) { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: ctx is checked between probes, so
+// an aborted mapping campaign stops within one experiment.
+func (m *Mapper) RunContext(ctx context.Context) (*Result, error) {
+	m.ctx = ctx
+	m.stats.Started = m.sub.Now()
 
 	doc := m.lookupPhase()
 
@@ -41,32 +52,40 @@ func (m *Mapper) Run() (*Result, error) {
 	}
 
 	m.emitNetworks(doc, structTree, networks)
-	m.stats.Finished = m.net.Sim().Now()
+	m.stats.Finished = m.sub.Now()
 
-	res := &Result{Config: m.cfg, Struct: structTree, Networks: networks, Doc: doc, Stats: m.stats}
-	_ = t
-	return res, nil
+	return &Result{Config: m.cfg, Struct: structTree, Networks: networks, Doc: doc, Stats: m.stats}, nil
+}
+
+// canceled reports the context error, if any; probes call it first.
+func (m *Mapper) canceled() error {
+	if m.ctx == nil {
+		return nil
+	}
+	if err := m.ctx.Err(); err != nil {
+		return fmt.Errorf("env: mapping aborted: %w", err)
+	}
+	return nil
 }
 
 // ---- Phase 1+2: lookup and extra information gathering ----
 
 func (m *Mapper) lookupPhase() *gridml.Document {
-	t := m.net.Topology()
 	doc := &gridml.Document{Label: &gridml.Label{Name: m.cfg.GridLabel}}
 	for _, id := range m.cfg.Hosts {
-		node := t.Node(id)
-		if node == nil {
+		info, ok := m.sub.HostInfo(id)
+		if !ok {
 			continue
 		}
-		name := m.cfg.displayName(t, id)
-		site := doc.SiteFor(domainOf(name, node.IP))
-		mach := &gridml.Machine{Label: &gridml.Label{IP: node.IP, Name: name}}
+		name := m.cfg.displayName(m.sub, id)
+		site := doc.SiteFor(domainOf(name, info.IP))
+		mach := &gridml.Machine{Label: &gridml.Label{IP: info.IP, Name: name}}
 		if short := shortName(name); short != name {
 			mach.Label.Aliases = append(mach.Label.Aliases, gridml.Alias{Name: short})
 		}
 		// Extra information gathering (§4.2.1.2).
-		for _, k := range sortedKeys(node.Props) {
-			mach.Properties = append(mach.Properties, gridml.Property{Name: k, Value: node.Props[k]})
+		for _, k := range sortedKeys(info.Props) {
+			mach.Properties = append(mach.Properties, gridml.Property{Name: k, Value: info.Props[k]})
 		}
 		site.Machines = append(site.Machines, mach)
 	}
@@ -91,10 +110,12 @@ func sortedKeys(m map[string]string) []string {
 // ---- Phase 3: structural topology ----
 
 func (m *Mapper) structuralPhase() (*StructNode, error) {
-	t := m.net.Topology()
 	root := &StructNode{}
 	for _, id := range m.cfg.Hosts {
-		hops, err := t.Traceroute(id, m.cfg.External)
+		if err := m.canceled(); err != nil {
+			return nil, err
+		}
+		hops, err := m.sub.Traceroute(id, m.cfg.External)
 		if err != nil {
 			return nil, fmt.Errorf("env: traceroute %s: %w", id, err)
 		}
@@ -104,7 +125,7 @@ func (m *Mapper) structuralPhase() (*StructNode, error) {
 		// two hosts is a common prefix from the root router downward).
 		chain := make([]string, 0, len(hops))
 		for i := len(hops) - 1; i >= 0; i-- {
-			chain = append(chain, hops[i].Identifier)
+			chain = append(chain, hops[i])
 		}
 		insert(root, chain, id)
 	}
@@ -173,7 +194,6 @@ func (m *Mapper) refinePhase(root *StructNode) ([]*Network, error) {
 // refineCluster applies the four §4.2.2 experiments to one structural
 // cluster and returns the resulting ENV network(s).
 func (m *Mapper) refineCluster(sn *StructNode) ([]*Network, error) {
-	t := m.net.Topology()
 	th := m.cfg.Thresholds
 
 	// Probe targets exclude the master itself.
@@ -191,7 +211,7 @@ func (m *Mapper) refineCluster(sn *StructNode) ([]*Network, error) {
 		return []*Network{{
 			Label:          labelFor(sn, 0),
 			Class:          Unknown,
-			Hosts:          []string{m.cfg.displayName(t, m.cfg.Master)},
+			Hosts:          []string{m.cfg.displayName(m.sub, m.cfg.Master)},
 			HostIDs:        []string{m.cfg.Master},
 			GatewayHop:     sn.Hop,
 			ContainsMaster: true,
@@ -235,7 +255,7 @@ func (m *Mapper) refineCluster(sn *StructNode) ([]*Network, error) {
 		}
 		var sum, revSum float64
 		for _, id := range cl {
-			nw.Hosts = append(nw.Hosts, m.cfg.displayName(t, id))
+			nw.Hosts = append(nw.Hosts, m.cfg.displayName(m.sub, id))
 			nw.HostIDs = append(nw.HostIDs, id)
 			sum += bw[id]
 			revSum += revBW[id]
@@ -265,7 +285,7 @@ func (m *Mapper) refineCluster(sn *StructNode) ([]*Network, error) {
 		// The master belongs to its own structural cluster; report it as
 		// a member of the first sub-network carved out of that cluster.
 		if containsMaster && i == 0 {
-			nw.Hosts = append(nw.Hosts, m.cfg.displayName(t, m.cfg.Master))
+			nw.Hosts = append(nw.Hosts, m.cfg.displayName(m.sub, m.cfg.Master))
 			nw.HostIDs = append(nw.HostIDs, m.cfg.Master)
 			nw.ContainsMaster = true
 		}
@@ -464,41 +484,32 @@ func (m *Mapper) classFromRatio(avg float64) Classification {
 // ---- probes ----
 
 func (m *Mapper) probeBW(src, dst string) (float64, error) {
-	st, err := m.net.Transfer(src, dst, m.cfg.ProbeBytes, "env:"+m.cfg.Master)
+	if err := m.canceled(); err != nil {
+		return 0, err
+	}
+	v, err := m.sub.ProbeBW(src, dst, m.cfg.ProbeBytes, "env:"+m.cfg.Master)
 	if err != nil {
 		return 0, fmt.Errorf("env: probe %s->%s: %w", src, dst, err)
 	}
 	m.stats.Probes++
 	m.stats.ProbeBytes += m.cfg.ProbeBytes
-	return st.AvgBps, nil
+	return v, nil
 }
 
 // probeBWWhile measures src1→dst1 while a larger src2→dst2 transfer is
 // in flight, returning the measured (jammed) bandwidth.
 func (m *Mapper) probeBWWhile(src1, dst1, src2, dst2 string) (float64, error) {
-	sim := m.net.Sim()
+	if err := m.canceled(); err != nil {
+		return 0, err
+	}
 	jamBytes := m.cfg.ProbeBytes * m.cfg.JamFactor
-	done := vclock.NewChan[error](sim, "env:jam")
-	sim.Go("env:jam", func() {
-		_, err := m.net.Transfer(src2, dst2, jamBytes, "env:"+m.cfg.Master)
-		done.Send(err)
-	})
-	// Let the jamming flow get past its latency phase so the probe is
-	// fully overlapped.
-	lat, _ := m.net.Topology().PathLatency(src2, dst2)
-	sim.Sleep(lat + lat/2 + 1)
-
-	st, err := m.net.Transfer(src1, dst1, m.cfg.ProbeBytes, "env:"+m.cfg.Master)
-	jamErr, _ := done.Recv()
+	v, err := m.sub.ProbeBWWhile(src1, dst1, m.cfg.ProbeBytes, src2, dst2, jamBytes, "env:"+m.cfg.Master)
 	m.stats.Probes += 2
 	m.stats.ProbeBytes += m.cfg.ProbeBytes + jamBytes
 	if err != nil {
-		return 0, fmt.Errorf("env: jammed probe %s->%s: %w", src1, dst1, err)
+		return 0, err
 	}
-	if jamErr != nil {
-		return 0, fmt.Errorf("env: jam flow %s->%s: %w", src2, dst2, jamErr)
-	}
-	return st.AvgBps, nil
+	return v, nil
 }
 
 // ---- GridML emission ----

@@ -1,6 +1,8 @@
 package env
 
 import (
+	"fmt"
+
 	"nwsenv/internal/gridml"
 )
 
@@ -129,6 +131,95 @@ func Merge(label string, outside, inside *Result, aliases []gridml.GatewayAlias)
 	}
 
 	return &Merged{Doc: doc, Networks: unified, Stats: stats}, nil
+}
+
+// asResult adapts a Merged for use as the left operand of a further
+// Merge, so several runs fold into one view.
+func (m *Merged) asResult() *Result {
+	return &Result{Doc: m.Doc, Networks: m.Networks, Stats: m.Stats}
+}
+
+// MergeAll folds any number of mapping runs into one unified view: none
+// is an error, one is the no-firewall case, more fold left over
+// successive pairwise merges (§4.3 suggests mapping big platforms
+// piecewise and merging). With two results the full alias list is
+// applied (an unresolvable alias is an error, catching typos); in a
+// longer fold each step applies only the aliases both of whose names
+// the step's documents know — an alias may legitimately pair machines
+// of two later runs.
+func MergeAll(label string, results []*Result, aliases []gridml.GatewayAlias) (*Merged, error) {
+	switch len(results) {
+	case 0:
+		return nil, fmt.Errorf("env: no mapping results to merge")
+	case 1:
+		return Single(results[0]), nil
+	case 2:
+		return Merge(label, results[0], results[1], aliases)
+	}
+	applicable := func(a, b *Result) []gridml.GatewayAlias {
+		known := func(name string) bool {
+			return a.Doc.FindMachine(name) != nil || b.Doc.FindMachine(name) != nil
+		}
+		var out []gridml.GatewayAlias
+		for _, ga := range aliases {
+			if known(ga.Outside) && known(ga.Inside) {
+				out = append(out, ga)
+			}
+		}
+		return out
+	}
+	m, err := Merge(label, results[0], results[1], applicable(results[0], results[1]))
+	if err != nil {
+		return nil, err
+	}
+	for _, more := range results[2:] {
+		left := m.asResult()
+		m, err = Merge(label, left, more, applicable(left, more))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// GuessAliases identifies gateways across runs: machines appearing in
+// two runs' documents under different names but the same IP address are
+// the two faces of a dual-homed gateway (§4.3). Every run is matched
+// against all earlier runs, so a gateway shared only between two later
+// runs is found too.
+func GuessAliases(results []*Result) []gridml.GatewayAlias {
+	if len(results) < 2 {
+		return nil
+	}
+	byIP := map[string]string{}
+	record := func(res *Result) {
+		for _, s := range res.Doc.Sites {
+			for _, m := range s.Machines {
+				if m.Label == nil || m.Label.IP == "" {
+					continue
+				}
+				if _, seen := byIP[m.Label.IP]; !seen {
+					byIP[m.Label.IP] = m.CanonicalName()
+				}
+			}
+		}
+	}
+	record(results[0])
+	var out []gridml.GatewayAlias
+	for _, res := range results[1:] {
+		for _, s := range res.Doc.Sites {
+			for _, m := range s.Machines {
+				if m.Label == nil {
+					continue
+				}
+				if outName, ok := byIP[m.Label.IP]; ok && outName != m.CanonicalName() {
+					out = append(out, gridml.GatewayAlias{Outside: outName, Inside: m.CanonicalName()})
+				}
+			}
+		}
+		record(res)
+	}
+	return out
 }
 
 // Single wraps one run as a Merged result (no firewall case), with host

@@ -248,10 +248,46 @@ type GatewayAlias struct {
 // concatenated. The input documents are not modified.
 func Merge(label string, outside, inside *Document, aliases []GatewayAlias) (*Document, error) {
 	out := &Document{Label: &Label{Name: label}}
-	out.Sites = append(out.Sites, cloneSites(outside.Sites)...)
-	out.Sites = append(out.Sites, cloneSites(inside.Sites)...)
-	out.Networks = append(out.Networks, cloneNetworks(outside.Networks)...)
-	out.Networks = append(out.Networks, cloneNetworks(inside.Networks)...)
+	// Fold sites by domain and machines by (already known) name, so
+	// merging a run that re-maps part of an earlier run — the §4.3
+	// piecewise-mapping workflow — does not duplicate entries: a machine
+	// any of whose names is already present contributes its aliases and
+	// properties to the existing entry instead.
+	addDoc := func(d *Document) {
+		for _, s := range cloneSites(d.Sites) {
+			var target *Site
+			for _, have := range out.Sites {
+				if have.Domain == s.Domain {
+					target = have
+					break
+				}
+			}
+			if target == nil {
+				target = &Site{Domain: s.Domain, Label: s.Label}
+				out.Sites = append(out.Sites, target)
+			}
+			for _, m := range s.Machines {
+				if have := out.FindMachine(m.CanonicalName()); have != nil {
+					have.AddAlias(m.CanonicalName())
+					if m.Label != nil {
+						for _, a := range m.Label.Aliases {
+							have.AddAlias(a.Name)
+						}
+					}
+					for _, p := range m.Properties {
+						if _, dup := have.Property(p.Name); !dup {
+							have.Properties = append(have.Properties, p)
+						}
+					}
+					continue
+				}
+				target.Machines = append(target.Machines, m)
+			}
+		}
+		out.Networks = append(out.Networks, cloneNetworks(d.Networks)...)
+	}
+	addDoc(outside)
+	addDoc(inside)
 
 	for _, ga := range aliases {
 		mo := out.FindMachine(ga.Outside)

@@ -1,0 +1,58 @@
+// Package platform abstracts the substrate a deployment pipeline runs
+// on. The paper's contribution — gather topology with ENV, compute a
+// plan, apply it — is explicitly meant for real grids, so nothing above
+// this package may assume a simulator: a Platform bundles the runtime
+// (time + concurrency), the message transport, the measurement prober,
+// the name-resolution source, and the accounting hook that used to be
+// passed around as loose simulator-typed arguments.
+//
+// Two implementations are provided: SimPlatform wraps the discrete-event
+// simulator standing in for the 2003 ENS-Lyon testbed, and TCPPlatform
+// runs the same pipeline over real loopback TCP sockets on the wall
+// clock.
+package platform
+
+import (
+	"nwsenv/internal/deploy"
+	"nwsenv/internal/env"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+)
+
+// Platform is everything the staged Map/Plan/Apply pipeline needs from
+// the world underneath it.
+type Platform interface {
+	// Name identifies the platform kind ("sim", "tcp", ...).
+	Name() string
+	// Runtime provides time and concurrency for NWS components.
+	Runtime() proto.Runtime
+	// Transport delivers control-plane messages between hosts.
+	Transport() proto.Transport
+	// Prober runs the §2.2 measurement experiments.
+	Prober() sensor.Prober
+	// Substrate exposes the user-level observables ENV maps with.
+	Substrate() env.Substrate
+	// NodeName resolves a node ID to its display/DNS name ("" when the
+	// platform has no name for it).
+	NodeName(id string) string
+	// ResetAccounting separates the mapping era from the monitoring era
+	// in the platform's traffic accounting (no-op where not applicable).
+	ResetAccounting()
+}
+
+// Validator is optionally implemented by platforms that can check a
+// deployment plan against ground truth (e.g. the simulator's true
+// topology). Platforms without it get the topology-independent
+// connectivity validation only.
+type Validator interface {
+	ValidatePlan(plan *deploy.Plan, resolve map[string]string) (*deploy.Validation, error)
+}
+
+// ValidatePlan validates plan on p: the full ground-truth §2.3 check
+// when p implements Validator, the connectivity-only check otherwise.
+func ValidatePlan(p Platform, plan *deploy.Plan, resolve map[string]string) (*deploy.Validation, error) {
+	if v, ok := p.(Validator); ok {
+		return v.ValidatePlan(plan, resolve)
+	}
+	return deploy.ValidateConnectivity(plan), nil
+}

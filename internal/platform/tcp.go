@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"time"
+
+	"nwsenv/internal/env"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+)
+
+// TCPPlatform runs the pipeline over real loopback TCP sockets on the
+// wall clock: the RealRuntime for time and goroutines, gob-encoded
+// messages between per-host listeners, and a pluggable prober (loopback
+// has no interesting bandwidth physics, so the default prober answers
+// canned values — swap in a real one for actual grid hosts). Mapping
+// reads from a StaticSubstrate describing the segment, so Map→Plan→Apply
+// drives a real-socket deployment end to end without a simulator in the
+// process.
+type TCPPlatform struct {
+	tr     *proto.TCPTransport
+	sub    *StaticSubstrate
+	prober sensor.Prober
+	names  map[string]string
+}
+
+// TCPOption configures a TCPPlatform.
+type TCPOption func(*TCPPlatform)
+
+// WithTCPNames maps node IDs to display FQDNs.
+func WithTCPNames(names map[string]string) TCPOption {
+	return func(p *TCPPlatform) { p.names = names }
+}
+
+// WithTCPProber replaces the canned-value prober (e.g. with one running
+// real transfers between the hosts).
+func WithTCPProber(pr sensor.Prober) TCPOption {
+	return func(p *TCPPlatform) { p.prober = pr }
+}
+
+// WithTCPBandwidth sets the nominal segment bandwidth in bits/s for both
+// the static mapping view and the default prober.
+func WithTCPBandwidth(bps float64) TCPOption {
+	return func(p *TCPPlatform) {
+		p.sub.BandwidthBps = bps
+		if sp, ok := p.prober.(staticProber); ok {
+			sp.bw = bps
+			p.prober = sp
+		}
+	}
+}
+
+// WithTCPShared declares the segment a single collision domain, so the
+// mapper classifies it shared and the planner uses a representative
+// clique.
+func WithTCPShared() TCPOption {
+	return func(p *TCPPlatform) { p.sub.Shared = true }
+}
+
+// NewTCPPlatform builds a loopback platform for the given host IDs.
+func NewTCPPlatform(hosts []string, opts ...TCPOption) *TCPPlatform {
+	tr := proto.NewTCPTransport()
+	p := &TCPPlatform{
+		tr:     tr,
+		sub:    NewStaticSubstrate(hosts),
+		prober: staticProber{bw: 100e6, lat: 2 * time.Millisecond},
+	}
+	p.sub.Clock = tr.Runtime().Now
+	for _, o := range opts {
+		o(p)
+	}
+	for id, name := range p.names {
+		info := p.sub.Hosts[id]
+		info.DNS = name
+		p.sub.Hosts[id] = info
+	}
+	return p
+}
+
+// Name implements Platform.
+func (p *TCPPlatform) Name() string { return "tcp" }
+
+// Runtime implements Platform (wall clock).
+func (p *TCPPlatform) Runtime() proto.Runtime { return p.tr.Runtime() }
+
+// Transport implements Platform.
+func (p *TCPPlatform) Transport() proto.Transport { return p.tr }
+
+// Prober implements Platform.
+func (p *TCPPlatform) Prober() sensor.Prober { return p.prober }
+
+// Substrate implements Platform.
+func (p *TCPPlatform) Substrate() env.Substrate { return p.sub }
+
+// NodeName implements Platform.
+func (p *TCPPlatform) NodeName(id string) string { return p.names[id] }
+
+// ResetAccounting implements Platform (no-op: the kernel owns loopback
+// traffic accounting).
+func (p *TCPPlatform) ResetAccounting() {}
+
+// staticProber answers the §2.2 experiments with canned values: over
+// loopback the control plane is real but the physics are not worth
+// measuring.
+type staticProber struct {
+	bw  float64
+	lat time.Duration
+}
+
+func (p staticProber) Latency(from, to string, bytes int64) (time.Duration, error) {
+	return p.lat, nil
+}
+func (p staticProber) Bandwidth(from, to string, bytes int64, tag string) (float64, error) {
+	return p.bw, nil
+}
+func (p staticProber) ConnectTime(from, to string) (time.Duration, error) {
+	return p.lat + p.lat/2, nil
+}

@@ -3,6 +3,7 @@ package topo
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -118,6 +119,66 @@ func (s *Spec) Build() (*simnet.Topology, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// MapRunSpec describes one ENV mapping run derived from spec metadata.
+type MapRunSpec struct {
+	// Master is the run's point of view (node ID).
+	Master string
+	// Hosts are the node IDs the run maps, master first.
+	Hosts []string
+	// Names maps node IDs to display FQDNs.
+	Names map[string]string
+}
+
+// Runs derives the mapping runs the spec's metadata describes: one run
+// per declared master over its named hosts (master first, rest sorted),
+// or — when the spec names no masters — a single run from the first
+// host over every host except the external target.
+func (s *Spec) Runs(t *simnet.Topology) []MapRunSpec {
+	var runs []MapRunSpec
+	for _, m := range s.Masters {
+		names := s.NamesOf[m]
+		var hosts []string
+		for id := range names {
+			hosts = append(hosts, id)
+		}
+		if len(hosts) == 0 {
+			hosts = s.allHosts(t)
+		}
+		runs = append(runs, MapRunSpec{Master: m, Hosts: masterFirst(hosts, m), Names: names})
+	}
+	if len(runs) > 0 {
+		return runs
+	}
+	hosts := s.allHosts(t)
+	if len(hosts) == 0 {
+		return nil
+	}
+	return []MapRunSpec{{Master: hosts[0], Hosts: hosts}}
+}
+
+func (s *Spec) allHosts(t *simnet.Topology) []string {
+	var hosts []string
+	for _, h := range t.HostIDs() {
+		if h != t.ExternalTarget {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+// masterFirst orders hosts with the master first and the rest sorted.
+func masterFirst(hosts []string, master string) []string {
+	out := []string{master}
+	var rest []string
+	for _, h := range hosts {
+		if h != master {
+			rest = append(rest, h)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
 }
 
 // Export converts a topology back to a spec.
