@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCLIPipeline builds the four command-line tools and runs the full
@@ -126,6 +127,69 @@ func TestCLIPipeline(t *testing.T) {
 		"latest bandwidth readings", "estimate alpha -> beta"} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("nwsmanager -tcp output misses %q:\n%s", frag, out)
+		}
+	}
+
+	// The self-healing watch loop over a seeded crash scenario: the
+	// victim is cut out, folded back in after it heals, and the loop
+	// reports convergence (exit status 0 enforces it).
+	out = run(nwsmanager, "-topo", topoFile, "-watch", "-scenario", "crash",
+		"-seed", "42", "-duration", "14m", "-reconcile-interval", "2m")
+	for _, frag := range []string{"watched 14m0s of virtual time", "recovery:",
+		"converged=true", "complete=true"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("nwsmanager -watch output misses %q:\n%s", frag, out)
+		}
+	}
+
+	// The watch loop on the TCP platform (wall clock).
+	out = run(nwsmanager, "-tcp", "-hosts", "alpha,beta,gamma", "-watch",
+		"-duration", "3s", "-reconcile-interval", "1s")
+	if !strings.Contains(out, "watch:") || !strings.Contains(out, "3 hosts live") {
+		t.Fatalf("nwsmanager -tcp -watch output:\n%s", out)
+	}
+}
+
+// TestCLIGracefulShutdown: SIGINT must stop the long-running TCP watch
+// cleanly — sockets closed, final metrics report flushed, exit 0.
+func TestCLIGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "nwsmanager")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/nwsmanager")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, msg)
+	}
+
+	proc := exec.Command(bin, "-tcp", "-hosts", "alpha,beta,gamma", "-watch",
+		"-duration", "60s", "-reconcile-interval", "1s")
+	var buf strings.Builder
+	proc.Stdout = &buf
+	proc.Stderr = &buf
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give it time to deploy and run a round, then interrupt.
+	time.Sleep(3 * time.Second)
+	if err := proc.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted watch exited uncleanly: %v\n%s", err, buf.String())
+		}
+	case <-time.After(15 * time.Second):
+		proc.Process.Kill()
+		t.Fatalf("interrupted watch did not exit\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, frag := range []string{"interrupted: flushing final report", "watch:", "latest bandwidth readings"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("shutdown output misses %q:\n%s", frag, out)
 		}
 	}
 }

@@ -1,0 +1,111 @@
+// Command benchjson runs `go test -bench` and emits a machine-readable
+// JSON artifact — benchmark name → ns/op, allocs and every custom
+// b.ReportMetric value — so CI can archive the bench trajectory of the
+// repo instead of letting the numbers scroll away in logs.
+//
+//	benchjson -bench 'Reconcile' -out BENCH_reconcile.json ./internal/reconcile/
+//	benchjson -bench . -benchtime 1x -out BENCH_all.json ./...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result.
+type Entry struct {
+	Package    string `json:"package"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value: "ns/op", "B/op", "allocs/op", plus any
+	// custom b.ReportMetric units ("hosts", "redeploy-fraction", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Artifact is the emitted document.
+type Artifact struct {
+	// Command echoes the go test invocation for reproducibility.
+	Command    string           `json:"command"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   	  10   123456 ns/op  3.00 widgets ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "BENCH_reconcile.json", "output JSON file")
+	bench := flag.String("bench", ".", "benchmark pattern (go test -bench)")
+	benchtime := flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+	benchmem := flag.Bool("benchmem", true, "include allocation metrics")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime}
+	if *benchmem {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stdout.Bytes())
+		fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+		os.Exit(1)
+	}
+
+	art := Artifact{
+		Command:    "go " + strings.Join(args, " "),
+		Benchmarks: map[string]Entry{},
+	}
+	pkg := ""
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		entry := Entry{Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		// The tail is tab-separated "value unit" pairs.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			entry.Metrics[fields[i+1]] = v
+		}
+		art.Benchmarks[m[1]] = entry
+	}
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in %v\n%s", *bench, pkgs, stdout.String())
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmark(s) -> %s\n", len(art.Benchmarks), *out)
+}

@@ -1,25 +1,37 @@
 // Command nwsmanager applies a deployment plan and runs the monitoring
 // system for a while, reporting what it measured: the runtime
 // counterpart of §5.2. It drives the core pipeline's Apply stage — or,
-// with -auto / -tcp, the whole pipeline in one command.
+// with -auto / -tcp, the whole pipeline in one command, and with
+// -watch, the §4.3 self-healing reconcile loop on top of it.
 //
 //	nwsmanager -topo enslyon.json -plan plan.json -duration 5m
 //	nwsmanager -topo enslyon.json -plan plan.json -query moby.cri2000.ens-lyon.fr,sci3.popc.private
 //	nwsmanager -topo enslyon.json -auto -duration 5m        # Map→Plan→Apply, no files
 //	nwsmanager -tcp -hosts alpha,beta,gamma -duration 3s    # real loopback sockets
+//	nwsmanager -topo lan.json -watch -scenario mixed -seed 42 -duration 40m
+//	nwsmanager -tcp -hosts alpha,beta,gamma -watch -duration 30s
 //
 // -auto collapses the topogen→envmap→nwsdeploy→nwsmanager file relay
 // into a single command over the simulated platform; -tcp runs the same
 // staged pipeline over real loopback TCP sockets on the wall clock.
+// -watch keeps the deployment under a reconcile control plane that
+// detects drift (dead sensors, partitions, churn), re-maps, re-plans
+// and applies only the delta; -scenario injects a deterministic,
+// seeded fault schedule on the simulated platform to exercise it.
+// Long-running modes (-tcp, -watch) shut down cleanly on SIGINT/
+// SIGTERM, closing sockets and flushing a final metrics report.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"nwsenv/internal/cli"
@@ -31,6 +43,7 @@ import (
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
+	"nwsenv/internal/reconcile"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
@@ -46,19 +59,39 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Minute, "monitoring duration (virtual, or wall-clock with -tcp)")
 	query := flag.String("query", "", "host pair to estimate afterwards: from,to")
 	pairwise := flag.Bool("pairwise", false, "drive switched cliques with the pairwise scheduler (§6 relaxation)")
+	watch := flag.Bool("watch", false, "run the self-healing reconcile loop over the deployment")
+	scenario := flag.String("scenario", "none", "with -watch on a topo: fault scenario (none, crash, partition, degrade, churn, mixed)")
+	seed := flag.Int64("seed", 42, "seed for all scenario randomness (fault timing, victim choice, churn order)")
+	interval := flag.Duration("reconcile-interval", 2*time.Minute, "reconcile round period (virtual, or wall-clock with -tcp)")
 	flag.Parse()
+	if *interval <= 0 {
+		// The reconciler and the scenario builder both pace off the
+		// interval; a non-positive value would desynchronize them (and
+		// starve the fault jitter), so fall back to the default.
+		*interval = 2 * time.Minute
+	}
+
+	// Long-running modes stop cleanly on SIGINT/SIGTERM: the context
+	// cancellation unwinds the loops, closes sockets and flushes the
+	// final metrics report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	observer := core.WithObserver(func(ph core.Phase, detail string) {
 		fmt.Fprintf(os.Stderr, "[%s] %s\n", ph, detail)
 	})
 
 	if *tcp {
-		runTCP(strings.Split(*hostsCSV, ","), *duration, *query, observer)
+		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, observer)
 		return
 	}
 	if *topoFile == "" {
 		fmt.Fprintln(os.Stderr, "nwsmanager: -topo is required")
 		os.Exit(2)
+	}
+	if *watch {
+		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *seed, *pairwise, observer)
+		return
 	}
 	if *auto {
 		runAuto(*topoFile, *duration, *query, *pairwise, observer)
@@ -112,9 +145,175 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 	out.Deployment.Stop()
 }
 
+// runWatchSim deploys on the simulated platform, then hands the system
+// to the reconcile control plane while a seeded fault scenario plays
+// out: §4.3's platform evolution end to end. It exits non-zero when the
+// loop has not converged on a valid deployment by the end (unless it
+// was interrupted).
+func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario string, seed int64, pairwise bool, observer core.Option) {
+	se, err := cli.LoadSim(topoFile)
+	check(err)
+	sim, net := se.Sim, se.Net
+	runs := se.MapRuns()
+	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), observer}
+	if pairwise {
+		opts = append(opts, core.WithPairwiseSwitched())
+	}
+	pl := core.NewPipeline(se.Plat, opts...)
+
+	var out *core.Outcome
+	var pipeErr error
+	done := false
+	sim.Go("pipeline", func() {
+		out, pipeErr = pl.Deploy(context.Background(), runs...)
+		done = true
+	})
+	for at := sim.Now() + time.Minute; !done && at <= 240*time.Hour; at += time.Minute {
+		check(sim.RunUntil(at))
+	}
+	check(pipeErr)
+	if !done {
+		check(fmt.Errorf("pipeline did not finish within the virtual time budget"))
+	}
+
+	base := sim.Now()
+	scen, err := buildScenario(scenario, seed, base, interval, net.Topology(), out)
+	check(err)
+	var scenRun *simnet.ScenarioRun
+	if len(scen.Events) > 0 {
+		fmt.Fprintf(os.Stderr, "[reconcile] scenario %s (seed %d): %d events\n", scen.Name, seed, len(scen.Events))
+		for _, e := range scen.Events {
+			fmt.Fprintf(os.Stderr, "[reconcile]   t+%-8s %s\n", (e.At - base).Round(time.Second), e)
+		}
+		scenRun = scen.Schedule(net)
+	}
+
+	rec := reconcile.New(pl, out.Deployment, reconcile.Config{
+		Runs:     runs,
+		Interval: interval,
+		OnRound: func(rd reconcile.Round) {
+			if rd.Err != nil {
+				fmt.Fprintf(os.Stderr, "[reconcile] round %d: transient: %v\n", rd.Index, rd.Err)
+			}
+		},
+	})
+	sim.Go("reconcile", func() { rec.Run(context.Background()) })
+
+	// Drive virtual time in wall-clock-interruptible steps.
+	interrupted := false
+	for at := base + time.Minute; at <= base+duration; at += time.Minute {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		check(sim.RunUntil(at))
+	}
+	elapsed := sim.Now() - base
+
+	// Final metrics report: what the watch saw and what it cost.
+	rounds := rec.Rounds()
+	repairsN, errsN := 0, 0
+	for _, rd := range rounds {
+		if rd.Repaired() {
+			repairsN++
+		}
+		if rd.Err != nil {
+			errsN++
+		}
+	}
+	fmt.Printf("watched %v of virtual time: %d reconcile rounds, %d repairs, %d transient errors\n",
+		elapsed, len(rounds), repairsN, errsN)
+	if scenRun != nil {
+		report := rec.RecoveryReport(scenRun.Injected())
+		fmt.Print(report)
+		dis := metrics.ProbeDisruption(net, "clique:", reconcile.RepairWindows(report), base, sim.Now())
+		fmt.Printf("probe disruption: baseline %.2f/min, during repair %.2f/min (drop %.0f%%)\n",
+			dis.BaselinePerMinute, dis.RepairPerMinute, dis.Drop*100)
+	}
+	reportSim(net, elapsed)
+
+	dep := rec.Deployment()
+	v := deploy.ValidateConnectivity(dep.Plan)
+	converged := len(rounds) > 0 && rounds[len(rounds)-1].Err == nil && !rounds[len(rounds)-1].Drifted()
+	fmt.Printf("final deployment: %d hosts, complete=%v, converged=%v\n", len(dep.Plan.Hosts), v.Complete, converged)
+	dep.Stop()
+	if interrupted {
+		fmt.Println("interrupted: shut down cleanly")
+		return
+	}
+	if !v.Complete || !converged {
+		os.Exit(1)
+	}
+}
+
+// buildScenario derives a deterministic fault schedule for the deployed
+// system. All randomness (victim choice, timing jitter) flows from the
+// seed, so a given (topology, scenario, seed) triple replays the same
+// faults. The master is never a victim: reconciliation of a dead master
+// is exercised by the test suite, while the command-line scenarios keep
+// the narrator alive.
+func buildScenario(name string, seed int64, base, interval time.Duration, tp *simnet.Topology, out *core.Outcome) (simnet.Scenario, error) {
+	if name == "" || name == "none" {
+		return simnet.Scenario{Name: "none"}, nil
+	}
+	// Deterministic victim candidates: plan hosts (sorted canonical
+	// names) resolved to node IDs, minus the master.
+	var victims []string
+	for _, h := range out.Plan.Hosts {
+		if h == out.Plan.Master {
+			continue
+		}
+		if id, ok := out.Resolve[h]; ok {
+			victims = append(victims, id)
+		}
+	}
+	if len(victims) == 0 {
+		return simnet.Scenario{}, fmt.Errorf("scenario %s: no non-master victims", name)
+	}
+	// Candidate links: each victim's first access link.
+	var links [][2]string
+	for _, id := range victims {
+		for _, l := range tp.Links() {
+			if l.A == id {
+				links = append(links, [2]string{l.A, l.B})
+				break
+			}
+			if l.B == id {
+				links = append(links, [2]string{l.B, l.A})
+				break
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := base + interval
+	heal := 2 * interval
+	switch name {
+	case "crash":
+		return simnet.CrashScenario(victims[rng.Intn(len(victims))], start, heal), nil
+	case "partition":
+		l := links[rng.Intn(len(links))]
+		return simnet.PartitionScenario(l[0], l[1], start, heal), nil
+	case "degrade":
+		l := links[rng.Intn(len(links))]
+		return simnet.DegradeScenario(l[0], l[1], 0.5, start, heal), nil
+	case "churn":
+		n := 3
+		if n > len(victims) {
+			n = len(victims)
+		}
+		rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+		return simnet.ChurnScenario(victims[:n], start, 3*interval, heal), nil
+	case "mixed":
+		return simnet.MixedScenario(seed, victims, links, start, 4*interval, heal, 3), nil
+	}
+	return simnet.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+}
+
 // runTCP drives the staged pipeline over real loopback TCP sockets: the
-// same code path as the simulator, on the wall clock.
-func runTCP(hosts []string, duration time.Duration, query string, observer core.Option) {
+// same code path as the simulator, on the wall clock. With watch, the
+// reconcile loop maintains the deployment until the duration elapses or
+// the context is canceled (SIGINT).
+func runTCP(ctx context.Context, hosts []string, duration time.Duration, query string, watch bool, interval time.Duration, observer core.Option) {
 	seen := map[string]bool{}
 	for i, h := range hosts {
 		h = strings.TrimSpace(h)
@@ -139,8 +338,8 @@ func runTCP(hosts []string, duration time.Duration, query string, observer core.
 		core.WithTokenGap(50*time.Millisecond),
 		observer)
 
-	ctx := context.Background()
-	m, err := pl.Map(ctx, core.MapRun{Master: hosts[0], Hosts: hosts})
+	run := core.MapRun{Master: hosts[0], Hosts: hosts}
+	m, err := pl.Map(ctx, run)
 	check(err)
 	pr, err := pl.Plan(m)
 	check(err)
@@ -148,8 +347,44 @@ func runTCP(hosts []string, duration time.Duration, query string, observer core.
 	check(err)
 	defer dep.Stop()
 
-	fmt.Printf("monitoring %d hosts over loopback TCP for %v ...\n", len(hosts), duration)
-	time.Sleep(duration)
+	var rec *reconcile.Reconciler
+	recDone := make(chan struct{})
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	if watch {
+		rec = reconcile.New(pl, dep, reconcile.Config{Runs: []core.MapRun{run}, Interval: interval})
+		go func() {
+			defer close(recDone)
+			rec.Run(wctx)
+		}()
+		fmt.Printf("watching %d hosts over loopback TCP for %v (reconcile every %v) ...\n", len(hosts), duration, interval)
+	} else {
+		close(recDone)
+		fmt.Printf("monitoring %d hosts over loopback TCP for %v ...\n", len(hosts), duration)
+	}
+	select {
+	case <-time.After(duration):
+	case <-ctx.Done():
+		fmt.Println("interrupted: flushing final report")
+	}
+	// Stop the reconcile loop before touching the deployment, so no
+	// repair races the teardown.
+	wcancel()
+	<-recDone
+	if rec != nil {
+		rounds := rec.Rounds()
+		repairs, errs := 0, 0
+		for _, rd := range rounds {
+			if rd.Repaired() {
+				repairs++
+			}
+			if rd.Err != nil {
+				errs++
+			}
+		}
+		fmt.Printf("watch: %d reconcile rounds, %d repairs, %d transient errors, %d hosts live\n",
+			len(rounds), repairs, errs, len(dep.Plan.Hosts))
+	}
 
 	// Read back the freshest samples through a real client station.
 	ep, err := plat.Transport().Open("nwsmanager-client")

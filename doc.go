@@ -11,8 +11,15 @@
 // a staged Map → Plan → Apply API over the platform abstraction of
 // internal/platform, so the same code path drives the simulated testbed
 // (SimPlatform) and real loopback TCP sockets (TCPPlatform);
-// core.AutoDeploy remains as a one-call wrapper over the simulator. The
-// benchmark harness in bench_test.go regenerates every figure and
-// quantitative claim of the paper (see EXPERIMENTS.md); README.md holds
-// the API quickstart.
+// core.AutoDeploy remains as a one-call wrapper over the simulator.
+// Above the pipeline, internal/reconcile runs §4.3's "possible platform
+// evolution" as a self-healing control plane: it watches a live
+// deployment, detects drift (dead sensors, partitioned or degraded
+// links, churning machines) by probing liveness and re-running ENV,
+// re-plans, and applies only the delta, with deterministic seeded fault
+// scenarios in internal/simnet and recovery metrics in internal/metrics
+// making every repair claim assertable. The benchmark harness in
+// bench_test.go regenerates every figure and quantitative claim of the
+// paper (see EXPERIMENTS.md, including the §4.3 fault-scenario table);
+// README.md holds the API quickstart and the nwsmanager -watch guide.
 package nwsenv

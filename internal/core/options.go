@@ -16,6 +16,10 @@ const (
 	PhasePlan Phase = "plan"
 	// PhaseApply is the §5.2 deployment stage.
 	PhaseApply Phase = "apply"
+	// PhaseReconcile is the §4.3 platform-evolution stage: a control
+	// plane re-entering Map and Plan against a live deployment and
+	// applying the delta.
+	PhaseReconcile Phase = "reconcile"
 )
 
 // ProgressFunc observes phase transitions and per-phase progress; detail

@@ -37,6 +37,13 @@ func (p *Pipeline) report(phase Phase, format string, args ...interface{}) {
 	}
 }
 
+// Observe reports progress through the pipeline's observer on behalf of
+// a caller re-entering the pipeline (the reconcile control plane
+// narrates its rounds through the same hook the stages use).
+func (p *Pipeline) Observe(phase Phase, format string, args ...interface{}) {
+	p.report(phase, format, args...)
+}
+
 // Mapping is the artifact of the Map stage: the per-run results, the
 // merged effective view, and the canonical-name→node-ID resolution the
 // later stages consume.

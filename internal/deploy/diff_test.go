@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -77,6 +78,91 @@ func TestDiffDetectsShrinkAndMoves(t *testing.T) {
 	}
 }
 
+// TestDiffCombinedMembershipAndServerMove: one diff carries a clique
+// membership change and a server move at once; both surface, and the
+// rendering shows each.
+func TestDiffCombinedMembershipAndServerMove(t *testing.T) {
+	old := basePlan()
+	new := basePlan()
+	new.Cliques[1] = CliqueSpec{Name: "c2", Members: []string{"b", "c", "a"}}
+	new.Forecaster = "c"
+	new.MemoryServers = []string{"a", "c"}
+	d := DiffPlans(old, new)
+	if d.Empty() {
+		t.Fatal("combined change diffed empty")
+	}
+	md, ok := d.CliquesChanged["c2"]
+	if !ok || len(md.Added) != 1 || md.Added[0] != "a" || len(md.Removed) != 0 {
+		t.Fatalf("membership delta %v", d.CliquesChanged)
+	}
+	if len(d.ServerMoves) != 2 {
+		t.Fatalf("server moves %v", d.ServerMoves)
+	}
+	if len(d.HostsAdded)+len(d.HostsRemoved)+len(d.CliquesAdded)+len(d.CliquesRemoved) != 0 {
+		t.Fatalf("spurious membership churn: %s", d)
+	}
+	out := d.String()
+	for _, frag := range []string{"~ clique c2: +[a] -[]", "forecaster: a -> c", "memory: [a] -> [a,c]"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("rendering misses %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestDiffEmptyToNonempty: bootstrapping from a blank plan reports
+// everything as added, and the reverse reports everything removed.
+func TestDiffEmptyToNonempty(t *testing.T) {
+	empty := &Plan{}
+	full := basePlan()
+
+	up := DiffPlans(empty, full)
+	if len(up.HostsAdded) != 3 || len(up.CliquesAdded) != 2 {
+		t.Fatalf("empty->full: %+v", up)
+	}
+	if len(up.HostsRemoved)+len(up.CliquesRemoved) != 0 {
+		t.Fatalf("empty->full reports removals: %+v", up)
+	}
+	// Placements move from "" to their targets.
+	if len(up.ServerMoves) != 3 {
+		t.Fatalf("empty->full server moves %v", up.ServerMoves)
+	}
+
+	down := DiffPlans(full, empty)
+	if len(down.HostsRemoved) != 3 || len(down.CliquesRemoved) != 2 {
+		t.Fatalf("full->empty: %+v", down)
+	}
+	if len(down.HostsAdded)+len(down.CliquesAdded) != 0 {
+		t.Fatalf("full->empty reports additions: %+v", down)
+	}
+	if DiffPlans(empty, &Plan{}).Empty() != true {
+		t.Fatal("two empty plans differ")
+	}
+}
+
+// TestDiffStringRendersEveryField: each Diff field has a distinct
+// rendering an operator can grep.
+func TestDiffStringRendersEveryField(t *testing.T) {
+	d := &Diff{
+		CliquesAdded:   []string{"cA"},
+		CliquesRemoved: []string{"cR"},
+		CliquesChanged: map[string]MemberDelta{"cM": {Added: []string{"x"}, Removed: []string{"y"}}},
+		HostsAdded:     []string{"hA"},
+		HostsRemoved:   []string{"hR"},
+		ServerMoves:    []string{"nameserver: a -> b"},
+	}
+	out := d.String()
+	for _, frag := range []string{
+		"+ host hA", "- host hR",
+		"+ clique cA", "- clique cR",
+		"~ clique cM: +[x] -[y]",
+		"~ nameserver: a -> b",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("rendering misses %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestDiffAfterRemapIsStable(t *testing.T) {
 	// Two independent map+plan passes over the unchanged ENS-Lyon
 	// platform must produce an empty diff: the pipeline is deterministic
@@ -92,10 +178,10 @@ func TestDiffAfterRemapIsStable(t *testing.T) {
 	_ = time.Second
 }
 
-// TestUpdateAppliesDelta: a running deployment transitions to a grown
+// TestApplyDeltaGrowth: a running deployment transitions to a grown
 // plan by restarting only affected hosts; untouched cliques keep their
 // agents.
-func TestUpdateAppliesDelta(t *testing.T) {
+func TestApplyDeltaGrowth(t *testing.T) {
 	// Plan A monitors only the public side; plan B adds the private
 	// networks. Build both from the same merged mapping.
 	_, net, merged, resolve := mapEnsLyon(t)
@@ -137,23 +223,36 @@ func TestUpdateAppliesDelta(t *testing.T) {
 	}
 	before := len(dep.Agents)
 
-	diff, err := dep.Update(tr, prober, full, resolve, opts)
-	if err != nil {
+	var rep *DeltaReport
+	var deltaErr error
+	sim.Go("delta", func() {
+		rep, deltaErr = dep.ApplyDelta(context.Background(), full, resolve)
+	})
+	if err := sim.RunUntil(sim.Now() + time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if diff.Empty() {
+	if deltaErr != nil {
+		t.Fatal(deltaErr)
+	}
+	if rep.Diff.Empty() {
 		t.Fatal("expected a non-empty diff")
 	}
-	if len(diff.HostsAdded) == 0 || len(diff.CliquesAdded) == 0 {
-		t.Fatalf("diff %s", diff)
+	if len(rep.Diff.HostsAdded) == 0 || len(rep.Diff.CliquesAdded) == 0 {
+		t.Fatalf("diff %s", rep.Diff)
+	}
+	if len(rep.Started) == 0 {
+		t.Fatalf("delta report %s", rep)
+	}
+	if rep.Redeployed() >= len(full.Hosts) {
+		t.Fatalf("redeployed %d of %d components: not incremental", rep.Redeployed(), len(full.Hosts))
 	}
 	if dep.Agents["myri1.popc.private"] != myriAgent {
 		t.Fatal("unchanged host was restarted")
 	}
 	if len(dep.Agents) <= before {
-		t.Fatalf("agents %d after update, was %d", len(dep.Agents), before)
+		t.Fatalf("agents %d after delta, was %d", len(dep.Agents), before)
 	}
-	// The sci clique starts measuring after the update.
+	// The sci clique starts measuring after the transition.
 	if err := sim.RunUntil(base + 4*time.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +264,7 @@ func TestUpdateAppliesDelta(t *testing.T) {
 		}
 	}
 	if !seen {
-		t.Fatal("added sci clique produced no measurements after Update")
+		t.Fatal("added sci clique produced no measurements after ApplyDelta")
 	}
 	dep.Stop()
 }

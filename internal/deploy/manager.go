@@ -32,12 +32,21 @@ type ApplyOptions struct {
 	PairwiseSwitched bool
 }
 
-// Deployment is a plan applied to a transport: one agent per host.
+// Deployment is a plan applied to a transport: one agent per host. It
+// keeps what it was built with (transport, prober, options) so it can
+// later be transitioned incrementally to a revised plan with ApplyDelta.
 type Deployment struct {
 	Plan    *Plan
 	Agents  map[string]*host.Agent // by canonical machine name
 	Resolve map[string]string      // canonical name -> node ID
 	reverse map[string]string      // node ID -> canonical name
+
+	tr     proto.Transport
+	prober sensor.Prober
+	opts   ApplyOptions
+	// epochs tracks each clique's incarnation: bumped on membership
+	// repair so rebuilt rings outrank tokens from dead incarnations.
+	epochs map[string]int64
 }
 
 // Apply launches the NWS processes the plan prescribes — the automated
@@ -54,7 +63,16 @@ func Apply(tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[str
 // are constructed and before they start, so an aborted deployment leaves
 // no agent running (already-built agents are torn down).
 func ApplyContext(ctx context.Context, tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions) (*Deployment, error) {
-	agents, err := buildAgents(ctx, tr, prober, plan, resolve, opts, nil)
+	dep := &Deployment{
+		Plan:    plan,
+		Resolve: resolve,
+		reverse: map[string]string{},
+		tr:      tr,
+		prober:  prober,
+		opts:    opts.withDefaults(),
+		epochs:  map[string]int64{},
+	}
+	agents, err := dep.buildAgents(ctx, plan, resolve, nil, nil)
 	if err != nil {
 		for _, a := range agents {
 			a.Stop()
@@ -67,12 +85,7 @@ func ApplyContext(ctx context.Context, tr proto.Transport, prober sensor.Prober,
 		}
 		return nil, fmt.Errorf("deploy: apply aborted: %w", err)
 	}
-	dep := &Deployment{
-		Plan:    plan,
-		Agents:  agents,
-		Resolve: resolve,
-		reverse: map[string]string{},
-	}
+	dep.Agents = agents
 	for name, node := range resolve {
 		dep.reverse[node] = name
 	}
@@ -82,17 +95,24 @@ func ApplyContext(ctx context.Context, tr proto.Transport, prober sensor.Prober,
 	return dep, nil
 }
 
-// buildAgents constructs (without starting) the agents for the plan's
-// hosts; when only is non-nil, just for that subset. On error the agents
-// built so far are returned alongside it so the caller can tear them
-// down (their endpoints are already open).
-func buildAgents(ctx context.Context, tr proto.Transport, prober sensor.Prober, plan *Plan, resolve map[string]string, opts ApplyOptions, only []string) (map[string]*host.Agent, error) {
-	if opts.TokenGap <= 0 {
-		opts.TokenGap = time.Second
+// withDefaults normalizes the options once, so the role assignments
+// computed at apply time and at reconcile time agree.
+func (o ApplyOptions) withDefaults() ApplyOptions {
+	if o.TokenGap <= 0 {
+		o.TokenGap = time.Second
 	}
-	if opts.StaggerStep <= 0 {
-		opts.StaggerStep = 500 * time.Millisecond
+	if o.StaggerStep <= 0 {
+		o.StaggerStep = 500 * time.Millisecond
 	}
+	return o
+}
+
+// planRoles computes each host's role assignment under plan: the
+// per-host slice of the §5.2 configuration file. Clique members are
+// resolved node IDs; each clique's Epoch comes from the deployment's
+// incarnation table so rebuilt rings outrank their predecessors.
+func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs map[string]int64) (map[string]host.Roles, error) {
+	opts = opts.withDefaults()
 	id := func(name string) (string, error) {
 		if v, ok := resolve[name]; ok {
 			return v, nil
@@ -123,6 +143,7 @@ func buildAgents(ctx context.Context, tr proto.Transport, prober sensor.Prober, 
 			Members:    members,
 			TokenGap:   gap,
 			StartDelay: time.Duration(i) * opts.StaggerStep,
+			Epoch:      epochs[spec.Name],
 		}
 		if opts.PairwiseSwitched && spec.Network != "" && !spec.Shared && len(members) >= 3 {
 			role := host.PairwiseRole{
@@ -145,21 +166,15 @@ func buildAgents(ctx context.Context, tr proto.Transport, prober sensor.Prober, 
 	if err != nil {
 		return nil, err
 	}
-	agents := map[string]*host.Agent{}
+	all := map[string]host.Roles{}
 	for _, name := range plan.Hosts {
-		if only != nil && !contains(only, name) {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return agents, fmt.Errorf("deploy: apply aborted: %w", err)
-		}
 		node, err := id(name)
 		if err != nil {
-			return agents, err
+			return nil, err
 		}
 		memNode, err := id(plan.MemoryOf[name])
 		if err != nil {
-			return agents, err
+			return nil, err
 		}
 		roles := host.Roles{
 			NSHost:           nsNode,
@@ -177,7 +192,34 @@ func buildAgents(ctx context.Context, tr proto.Transport, prober sensor.Prober, 
 		if contains(plan.MemoryServers, name) {
 			roles.Memory = true
 		}
-		ag, err := host.NewAgent(tr, node, roles, prober)
+		all[name] = roles
+	}
+	return all, nil
+}
+
+// buildAgents constructs (without starting) the agents for the plan's
+// hosts; when only is non-nil, just for that subset. roles may carry
+// the plan's precomputed role assignments (nil recomputes them). On
+// error the agents built so far are returned alongside it so the caller
+// can tear them down (their endpoints are already open).
+func (d *Deployment) buildAgents(ctx context.Context, plan *Plan, resolve map[string]string, only []string, roles map[string]host.Roles) (map[string]*host.Agent, error) {
+	all := roles
+	if all == nil {
+		var err error
+		all, err = planRoles(plan, resolve, d.opts, d.epochs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	agents := map[string]*host.Agent{}
+	for _, name := range plan.Hosts {
+		if only != nil && !contains(only, name) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return agents, fmt.Errorf("deploy: apply aborted: %w", err)
+		}
+		ag, err := host.NewAgent(d.tr, resolve[name], all[name], d.prober)
 		if err != nil {
 			return agents, err
 		}

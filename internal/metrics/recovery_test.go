@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+func TestSummarizeRecovery(t *testing.T) {
+	repairs := []Repair{
+		{Fault: "crash h1", InjectedAt: 1 * time.Minute, DetectedAt: 2 * time.Minute,
+			RepairedAt: 3 * time.Minute, Redeployed: 2, Total: 8},
+		{Fault: "cut a-b", InjectedAt: 10 * time.Minute, DetectedAt: 14 * time.Minute,
+			RepairedAt: 15 * time.Minute, Redeployed: 4, Total: 8},
+	}
+	rep := SummarizeRecovery(repairs, 1)
+	if rep.MeanTimeToDetect != 150*time.Second {
+		t.Fatalf("mean time-to-detect %v", rep.MeanTimeToDetect)
+	}
+	if rep.MaxTimeToRepair != 5*time.Minute {
+		t.Fatalf("max time-to-repair %v", rep.MaxTimeToRepair)
+	}
+	if rep.TotalRedeployed != 6 {
+		t.Fatalf("total redeployed %d", rep.TotalRedeployed)
+	}
+	if rep.MaxRedeployFraction != 0.5 {
+		t.Fatalf("max redeploy fraction %v", rep.MaxRedeployFraction)
+	}
+	if rep.Unrepaired != 1 {
+		t.Fatalf("unrepaired %d", rep.Unrepaired)
+	}
+	out := rep.String()
+	for _, frag := range []string{"crash h1", "cut a-b", "1 unrepaired", "worst redeploy fraction 0.50"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report rendering misses %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSummarizeRecoveryEmpty(t *testing.T) {
+	rep := SummarizeRecovery(nil, 0)
+	if rep.MeanTimeToDetect != 0 || rep.MaxTimeToRepair != 0 || rep.MaxRedeployFraction != 0 {
+		t.Fatalf("empty summary %+v", rep)
+	}
+}
+
+// disruptionNet runs tagged transfers on a two-host segment: one per
+// 30 s except inside [2m, 4m), emulating monitoring paused by a fault.
+func disruptionNet(t *testing.T) *simnet.Network {
+	t.Helper()
+	topo := simnet.NewTopology()
+	topo.AddHost("a", "10.9.0.1", "a.d", "d")
+	topo.AddHost("b", "10.9.0.2", "b.d", "d")
+	topo.AddSwitch("sw")
+	topo.Connect("a", "sw")
+	topo.Connect("b", "sw")
+	sim := vclock.New()
+	net := simnet.NewNetwork(sim, topo)
+	sim.Go("probes", func() {
+		for i := 0; i < 12; i++ {
+			at := time.Duration(i) * 30 * time.Second
+			if at >= 2*time.Minute && at < 4*time.Minute {
+				sim.Sleep(30 * time.Second)
+				continue
+			}
+			if _, err := net.Transfer("a", "b", 1000, "clique:test"); err != nil {
+				t.Errorf("transfer: %v", err)
+			}
+			sim.Sleep(30*time.Second - (sim.Now() - at))
+		}
+	})
+	if err := sim.RunUntil(6 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestProbeRateAndDisruption(t *testing.T) {
+	net := disruptionNet(t)
+	if r := ProbeRate(net, "clique:", 0, 2*time.Minute); r != 2 {
+		t.Fatalf("baseline rate %v probes/min, want 2", r)
+	}
+	if r := ProbeRate(net, "clique:", 2*time.Minute, 4*time.Minute); r != 0 {
+		t.Fatalf("paused-window rate %v, want 0", r)
+	}
+	dis := ProbeDisruption(net, "clique:",
+		[][2]time.Duration{{2 * time.Minute, 3 * time.Minute}, {150 * time.Second, 4 * time.Minute}},
+		0, 6*time.Minute)
+	if dis.BaselinePerMinute != 2 {
+		t.Fatalf("baseline %v", dis.BaselinePerMinute)
+	}
+	if dis.RepairPerMinute != 0 {
+		t.Fatalf("repair-window rate %v", dis.RepairPerMinute)
+	}
+	if dis.Drop != 1 {
+		t.Fatalf("drop %v, want 1 (monitoring fully paused)", dis.Drop)
+	}
+}
+
+func TestMergeWindows(t *testing.T) {
+	got := mergeWindows([][2]time.Duration{
+		{4 * time.Minute, 5 * time.Minute},
+		{1 * time.Minute, 2 * time.Minute},
+		{90 * time.Second, 3 * time.Minute},
+	})
+	want := [][2]time.Duration{{1 * time.Minute, 3 * time.Minute}, {4 * time.Minute, 5 * time.Minute}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+}

@@ -58,6 +58,13 @@ type Config struct {
 	// StartDelay postpones member 0's token bootstrap; deployments
 	// stagger their cliques with it to de-synchronize rings.
 	StartDelay time.Duration
+	// Epoch is the initial token epoch. Membership repair relies on it:
+	// when a deployment rebuilds a clique with new members, it hands the
+	// new incarnation a strictly higher epoch, so tokens still floating
+	// around from the previous incarnation (e.g. held by a partitioned
+	// ex-member) are recognized as stale and dropped instead of racing
+	// the new ring.
+	Epoch int64
 }
 
 func (c Config) withDefaults() Config {
@@ -132,7 +139,7 @@ func NewMember(cfg Config, port proto.Port, prober sensor.Prober, store StoreFn)
 	if store == nil {
 		store = func(sensor.Measurement) {}
 	}
-	return &Member{cfg: cfg, port: port, prober: prober, store: store, idx: idx}
+	return &Member{cfg: cfg, port: port, prober: prober, store: store, idx: idx, epoch: cfg.Epoch}
 }
 
 // Stats returns a snapshot of the member's counters.

@@ -61,8 +61,12 @@ type simInbox struct{ ch *vclock.Chan[Message] }
 func (b *simInbox) Recv() (Message, bool)                       { return b.ch.Recv() }
 func (b *simInbox) RecvTimeout(d time.Duration) (Message, bool) { return b.ch.RecvTimeout(d) }
 func (b *simInbox) TryRecv() (Message, bool)                    { return b.ch.TryRecv() }
-func (b *simInbox) Send(m Message)                              { b.ch.Send(m) }
-func (b *simInbox) Close()                                      { b.ch.Close() }
+
+// Send drops messages arriving after Close (mailbox semantics, like
+// realInbox): a component torn down by an incremental redeploy must not
+// crash late senders.
+func (b *simInbox) Send(m Message) { b.ch.TrySend(m) }
+func (b *simInbox) Close()         { b.ch.Close() }
 
 // ---- Real-time runtime ----
 

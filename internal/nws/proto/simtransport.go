@@ -61,11 +61,13 @@ func (t *SimTransport) SetDown(host string, down bool) {
 	t.mu.Unlock()
 }
 
-// IsDown reports the failure state of a host.
+// IsDown reports the failure state of a host: taken down explicitly via
+// SetDown, or crashed at the network level (simnet fault injection).
 func (t *SimTransport) IsDown(host string) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.down[host]
+	explicit := t.down[host]
+	t.mu.Unlock()
+	return explicit || t.net.HostDown(host)
 }
 
 // SetBlocked partitions (or heals) the control-plane path between two
@@ -106,6 +108,9 @@ func (e *simEndpoint) Send(to string, m Message) error {
 	srcDown, dstDown := t.down[e.host], t.down[to]
 	pairBlocked := t.isBlocked(e.host, to)
 	t.mu.Unlock()
+	// Network-level crashes (fault injection) take hosts down too.
+	srcDown = srcDown || t.net.HostDown(e.host)
+	dstDown = dstDown || t.net.HostDown(to)
 	if srcDown {
 		return fmt.Errorf("proto: host %s is down", e.host)
 	}
@@ -129,7 +134,7 @@ func (e *simEndpoint) Send(to string, m Message) error {
 		dst := t.eps[to]
 		deadNow := t.down[to]
 		t.mu.Unlock()
-		if dst == nil || deadNow {
+		if dst == nil || deadNow || t.net.HostDown(to) {
 			return
 		}
 		dst.inbox.Send(m)

@@ -65,6 +65,15 @@ func (t *TCPTransport) Addr(host string) (string, bool) {
 	return a, ok
 }
 
+// Active reports whether host currently has an open endpoint (its agent
+// process is up). The liveness signal behind TCPPlatform's Health view.
+func (t *TCPTransport) Active(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.eps[host]
+	return ok
+}
+
 type outConn struct {
 	mu   sync.Mutex
 	conn net.Conn

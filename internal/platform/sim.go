@@ -48,6 +48,16 @@ func (p *SimPlatform) NodeName(id string) string {
 // ResetAccounting implements Platform.
 func (p *SimPlatform) ResetAccounting() { p.net.ResetAccounting() }
 
+// Alive implements Health: a node is alive unless unknown, crashed at
+// the network level (fault injection), or taken down at the transport
+// level.
+func (p *SimPlatform) Alive(id string) bool {
+	if p.net.Topology().Node(id) == nil {
+		return false
+	}
+	return !p.tr.IsDown(id)
+}
+
 // ValidatePlan implements Validator against the true topology.
 func (p *SimPlatform) ValidatePlan(plan *deploy.Plan, resolve map[string]string) (*deploy.Validation, error) {
 	return deploy.Validate(plan, p.net.Topology(), resolve)

@@ -94,6 +94,12 @@ func (p *TCPPlatform) Substrate() env.Substrate { return p.sub }
 // NodeName implements Platform.
 func (p *TCPPlatform) NodeName(id string) string { return p.names[id] }
 
+// Alive implements Health: a loopback host is alive while its agent's
+// endpoint is open. (Before Apply no endpoint exists, so health checks
+// only make sense against a running deployment — exactly when the
+// reconcile loop asks.)
+func (p *TCPPlatform) Alive(id string) bool { return p.tr.Active(id) }
+
 // ResetAccounting implements Platform (no-op: the kernel owns loopback
 // traffic accounting).
 func (p *TCPPlatform) ResetAccounting() {}

@@ -42,6 +42,13 @@ type resource struct {
 	cap float64 // bytes per second
 }
 
+// xferOutcome is what a finished (or aborted) flow reports back to the
+// blocked Transfer call.
+type xferOutcome struct {
+	stats TransferStats
+	err   error
+}
+
 type flow struct {
 	id        int64
 	src, dst  string
@@ -50,7 +57,7 @@ type flow struct {
 	remaining float64
 	rate      float64 // bytes per second
 	res       []*resource
-	done      *vclock.Chan[TransferStats]
+	done      *vclock.Chan[xferOutcome]
 	started   time.Duration
 	aloneBps  float64
 }
@@ -65,6 +72,9 @@ type Network struct {
 	nextFlowID int64
 	flows      []*flow
 	resources  map[string]*resource
+	// linkFactor scales the capacity of degraded links (fault injection);
+	// absent links run at nominal capacity.
+	linkFactor map[*Link]float64
 	lastSettle time.Duration
 	completion *vclock.Event
 
@@ -83,6 +93,7 @@ func NewNetwork(sim *vclock.Sim, topo *Topology) *Network {
 		sim:        sim,
 		topo:       topo,
 		resources:  map[string]*resource{},
+		linkFactor: map[*Link]float64{},
 		probeBytes: map[string]int64{},
 		probeCount: map[string]int{},
 	}
@@ -115,6 +126,9 @@ func (n *Network) pathResources(path []string) []*resource {
 		} else {
 			c = l.BWBtoA
 		}
+		if f, ok := n.linkFactor[l]; ok {
+			c *= f
+		}
 		out = append(out, n.resourceFor("edge:"+path[i]+"->"+path[i+1], c))
 	}
 	for _, id := range path {
@@ -132,6 +146,12 @@ func (n *Network) checkEndpoints(src, dst string) error {
 	}
 	if a.Kind != Host || b.Kind != Host {
 		return fmt.Errorf("simnet: transfer endpoints must be hosts (%s is %s, %s is %s)", src, a.Kind, dst, b.Kind)
+	}
+	if n.topo.NodeDown(src) {
+		return fmt.Errorf("simnet: host %s is down", src)
+	}
+	if n.topo.NodeDown(dst) {
+		return fmt.Errorf("simnet: host %s is down", dst)
 	}
 	if !a.SharesZone(b) {
 		return fmt.Errorf("simnet: firewall: %s and %s share no zone", src, dst)
@@ -165,7 +185,7 @@ func (n *Network) Transfer(src, dst string, bytes int64, tag string) (TransferSt
 	f := &flow{
 		src: src, dst: dst, tag: tag,
 		bytes: float64(bytes), remaining: float64(bytes),
-		done:     vclock.NewChan[TransferStats](n.sim, "xfer:"+src+"->"+dst),
+		done:     vclock.NewChan[xferOutcome](n.sim, "xfer:"+src+"->"+dst),
 		started:  n.sim.Now(),
 		aloneBps: alone,
 	}
@@ -184,8 +204,11 @@ func (n *Network) Transfer(src, dst string, bytes int64, tag string) (TransferSt
 	n.recomputeLocked()
 	n.mu.Unlock()
 
-	stats, _ := f.done.Recv()
-	return stats, nil
+	out, _ := f.done.Recv()
+	if out.err != nil {
+		return TransferStats{}, out.err
+	}
+	return out.stats, nil
 }
 
 // Latency returns the one-way path latency from src to dst.
@@ -417,7 +440,7 @@ func (n *Network) onCompletion() {
 	n.recomputeLocked()
 	n.mu.Unlock()
 	for i, f := range finished {
-		f.done.Send(stats[i])
+		f.done.Send(xferOutcome{stats: stats[i]})
 	}
 }
 

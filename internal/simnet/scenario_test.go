@@ -1,0 +1,88 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMixedScenarioDeterministic(t *testing.T) {
+	hosts := []string{"a", "b", "c"}
+	links := [][2]string{{"a", "sw"}, {"sw", "r"}}
+	s1 := MixedScenario(42, hosts, links, time.Minute, 5*time.Minute, 2*time.Minute, 6)
+	s2 := MixedScenario(42, hosts, links, time.Minute, 5*time.Minute, 2*time.Minute, 6)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", s1, s2)
+	}
+	s3 := MixedScenario(43, hosts, links, time.Minute, 5*time.Minute, 2*time.Minute, 6)
+	if reflect.DeepEqual(s1.Events, s3.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Round-robin over kinds: all three disruptive kinds appear.
+	kinds := map[FaultKind]int{}
+	for _, e := range s1.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []FaultKind{FaultCrash, FaultCut, FaultDegrade} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s missing from mixed schedule %v", k, s1.Events)
+		}
+	}
+	// Every disruption self-heals: counts match pairwise.
+	if kinds[FaultCrash] != kinds[FaultRestore] || kinds[FaultCut] != kinds[FaultHeal] ||
+		kinds[FaultDegrade] != kinds[FaultRestoreLink] {
+		t.Errorf("unbalanced heal events: %v", kinds)
+	}
+}
+
+func TestScenarioScheduleInjects(t *testing.T) {
+	sim, net := lan(t)
+	scen := Scenario{Name: "test", Events: []FaultEvent{
+		{At: time.Second, Kind: FaultCrash, Host: "d"},
+		{At: 3 * time.Second, Kind: FaultRestore, Host: "d"},
+	}}
+	run := scen.Schedule(net)
+
+	if err := sim.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !net.HostDown("d") {
+		t.Fatal("crash event did not fire")
+	}
+	if got := run.Injected(); len(got) != 1 || got[0].Event.Kind != FaultCrash || got[0].At != time.Second {
+		t.Fatalf("injected after 2s: %+v", got)
+	}
+	if err := sim.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if net.HostDown("d") {
+		t.Fatal("restore event did not fire")
+	}
+	if got := run.Injected(); len(got) != 2 {
+		t.Fatalf("injected after 4s: %+v", got)
+	}
+}
+
+func TestScenarioBuilders(t *testing.T) {
+	c := CrashScenario("x", time.Minute, 30*time.Second)
+	if len(c.Events) != 2 || c.Events[1].Kind != FaultRestore || c.Events[1].At != 90*time.Second {
+		t.Fatalf("crash scenario %+v", c.Events)
+	}
+	p := PartitionScenario("a", "b", time.Minute, 0)
+	if len(p.Events) != 1 || p.Events[0].Kind != FaultCut {
+		t.Fatalf("partition scenario %+v", p.Events)
+	}
+	d := DegradeScenario("a", "b", 0.5, time.Minute, time.Minute)
+	if len(d.Events) != 2 || d.Events[0].Factor != 0.5 || d.Events[1].Kind != FaultRestoreLink {
+		t.Fatalf("degrade scenario %+v", d.Events)
+	}
+	ch := ChurnScenario([]string{"a", "b"}, time.Minute, 2*time.Minute, time.Minute)
+	if len(ch.Events) != 4 {
+		t.Fatalf("churn scenario %+v", ch.Events)
+	}
+	for i := 1; i < len(ch.Events); i++ {
+		if ch.Events[i].At < ch.Events[i-1].At {
+			t.Fatalf("churn events unsorted: %+v", ch.Events)
+		}
+	}
+}

@@ -14,8 +14,11 @@ const (
 )
 
 // Topology is a static network description. Build it with the Add* and
-// Connect methods, then hand it to NewNetwork. A Topology is immutable
-// once a Network runs on it.
+// Connect methods, then hand it to NewNetwork. A Topology's structure is
+// immutable once a Network runs on it; the only mutable state is the
+// fault overlay (down nodes, disabled links), which models §4.3
+// "possible platform evolution" and is driven through the Network fault
+// API so in-flight flows are settled consistently.
 type Topology struct {
 	nodes map[string]*Node
 	order []string // creation order, for deterministic iteration
@@ -28,6 +31,12 @@ type Topology struct {
 	// way out of the platform (§4.2.1.3).
 	ExternalTarget string
 
+	// Fault overlay: crashed nodes neither source, sink nor forward
+	// traffic; disabled links carry nothing. Both are invisible to the
+	// static structure accessors and only affect routing.
+	downNodes     map[string]bool
+	disabledLinks map[*Link]bool
+
 	routeCache map[string][]string
 }
 
@@ -37,6 +46,8 @@ func NewTopology() *Topology {
 		nodes:         map[string]*Node{},
 		adj:           map[string][]int{},
 		routeOverride: map[string][]string{},
+		downNodes:     map[string]bool{},
+		disabledLinks: map[*Link]bool{},
 		routeCache:    map[string][]string{},
 	}
 }
@@ -175,6 +186,54 @@ func (t *Topology) findLink(a, b string) *Link {
 	return nil
 }
 
+// SetNodeDown crashes (or restores) a node: a down node neither
+// sources, sinks nor forwards traffic, so routing avoids it entirely.
+// Prefer the Network fault API (CrashHost), which also settles the
+// in-flight flows consistently.
+func (t *Topology) SetNodeDown(id string, down bool) {
+	if t.nodes[id] == nil {
+		panic(fmt.Sprintf("simnet: SetNodeDown(%q): unknown node", id))
+	}
+	t.downNodes[id] = down
+	t.routeCache = map[string][]string{}
+}
+
+// NodeDown reports the fault state of a node.
+func (t *Topology) NodeDown(id string) bool { return t.downNodes[id] }
+
+// SetLinkDisabled severs (or heals) the link between a and b. Routing
+// recomputes around it; prefer the Network fault API (CutLink), which
+// also aborts the flows crossing it.
+func (t *Topology) SetLinkDisabled(a, b string, disabled bool) {
+	l := t.findLink(a, b)
+	if l == nil {
+		panic(fmt.Sprintf("simnet: SetLinkDisabled: no link %s-%s", a, b))
+	}
+	t.disabledLinks[l] = disabled
+	t.routeCache = map[string][]string{}
+}
+
+// LinkDisabled reports the fault state of the a-b link.
+func (t *Topology) LinkDisabled(a, b string) bool {
+	l := t.findLink(a, b)
+	return l != nil && t.disabledLinks[l]
+}
+
+// pathHealthy reports whether every node and link of path is fault-free.
+func (t *Topology) pathHealthy(path []string) bool {
+	for _, id := range path {
+		if t.downNodes[id] {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if l := t.findLink(path[i], path[i+1]); l == nil || t.disabledLinks[l] {
+			return false
+		}
+	}
+	return true
+}
+
 // RouteOverrides returns a copy of the forced-route table, keyed
 // "src->dst".
 func (t *Topology) RouteOverrides() map[string][]string {
@@ -193,7 +252,9 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 	if src == dst {
 		return []string{src}, nil
 	}
-	if p, ok := t.routeOverride[src+"->"+dst]; ok {
+	if p, ok := t.routeOverride[src+"->"+dst]; ok && t.pathHealthy(p) {
+		// A faulted override falls back to dynamic routing, as real
+		// routing tables reconverge around a dead segment.
 		return p, nil
 	}
 	key := src + "->" + dst
@@ -293,6 +354,11 @@ func (t *Topology) dijkstra(src, dst string) []string {
 			}
 		}
 
+		// A crashed node neither forwards nor re-tags; routing flows
+		// around it (and never into it, below).
+		if t.downNodes[cur.node] {
+			continue
+		}
 		// Routers re-tag traffic onto any VLAN at no cost.
 		if t.nodes[cur.node].Kind == Router {
 			for _, v := range vlans {
@@ -307,11 +373,17 @@ func (t *Topology) dijkstra(src, dst string) []string {
 		}
 		for _, idx := range t.adj[cur.node] {
 			l := t.links[idx]
+			if t.disabledLinks[l] {
+				continue
+			}
 			next := l.B
 			lat := l.LatAtoB
 			if next == cur.node {
 				next = l.A
 				lat = l.LatBtoA
+			}
+			if t.downNodes[next] {
+				continue
 			}
 			if !l.allowsVLAN(cur.vlan) {
 				continue

@@ -57,10 +57,19 @@ func (c *Chan[T]) wake(w *waiter[T], v T, ok bool) {
 // from processes, event callbacks, or before Run starts. Sending on a
 // closed channel panics, mirroring native channels.
 func (c *Chan[T]) Send(v T) {
+	if !c.TrySend(v) {
+		panic("vclock: send on closed channel " + c.name)
+	}
+}
+
+// TrySend is Send that reports false instead of panicking when the
+// channel is closed — the mailbox semantic: messages arriving at a
+// torn-down component are dropped, as on a real network.
+func (c *Chan[T]) TrySend(v T) bool {
 	c.sim.mu.Lock()
 	defer c.sim.mu.Unlock()
 	if c.closed {
-		panic("vclock: send on closed channel " + c.name)
+		return false
 	}
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
@@ -69,9 +78,10 @@ func (c *Chan[T]) Send(v T) {
 			continue
 		}
 		c.wake(w, v, true)
-		return
+		return true
 	}
 	c.buf = append(c.buf, v)
+	return true
 }
 
 // Close closes the channel: buffered values can still be received, after
