@@ -1,0 +1,210 @@
+// Scale benchmarks: the simulation core on SyntheticGrid platforms of
+// 100/500/1000 hosts, with hundreds of standing background flows and a
+// churn of probe transfers — the load shape `nwsmanager -watch` plus the
+// reconciler generate. Each benchmark exists in an incremental-engine
+// and a naive-reference-engine variant so the BENCH_scale.json artifact
+// records the before/after of the component-scoped fair-share recompute.
+// CI regenerates the artifact and fails on ns/op regressions against the
+// committed baseline (cmd/benchjson -compare).
+package nwsenv
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/topo"
+	"nwsenv/internal/vclock"
+)
+
+// scaleConfigs maps a host count to its grid shape (hosts = sites ×
+// switches × 10).
+var scaleConfigs = map[int]topo.GridConfig{
+	100:  {Sites: 2, SwitchesPerSite: 5, HostsPerSwitch: 10, Seed: 42},
+	500:  {Sites: 5, SwitchesPerSite: 10, HostsPerSwitch: 10, Seed: 42},
+	1000: {Sites: 10, SwitchesPerSite: 10, HostsPerSwitch: 10, Seed: 42},
+}
+
+const (
+	// bgPairsPerSwitch standing flows per leaf segment occupy hosts
+	// h0..h7; the probe churn runs on the reserved pair (h8, h9), so
+	// every flow set is resource-disjoint from the others — the
+	// best case for component-scoped recomputation and the worst case
+	// for the global reference engine.
+	bgPairsPerSwitch = 4
+	probesPerSwitch  = 20
+	// bgBytes keeps a background flow alive (at its 12.5 MB/s fair
+	// share) well past the last probe, yet lets it finish inside the
+	// 5-minute window so every simulation process exits and iterations
+	// do not leak goroutines.
+	bgBytes = int64(400_000_000)
+)
+
+// runScaleTransfers drives the probe churn against standing background
+// flows and reports the wall cost per completed probe transfer.
+func runScaleTransfers(b *testing.B, hosts int, naive bool) {
+	cfg, ok := scaleConfigs[hosts]
+	if !ok {
+		b.Fatalf("no grid config for %d hosts", hosts)
+	}
+	groups := topo.GridHostGroups(cfg)
+	expected := len(groups) * (probesPerSwitch + bgPairsPerSwitch)
+	var lastNet *simnet.Network
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC() // isolate iterations from each other's garbage
+		tp, _ := topo.SyntheticGrid(cfg)
+		sim := vclock.New()
+		var net *simnet.Network
+		if naive {
+			net = simnet.NewNaiveNetwork(sim, tp)
+		} else {
+			net = simnet.NewNetwork(sim, tp)
+		}
+		lastNet = net
+		for _, g := range groups {
+			for p := 0; p < bgPairsPerSwitch; p++ {
+				src, dst := g[2*p], g[2*p+1]
+				sim.Go("bg:"+src, func() {
+					net.Transfer(src, dst, bgBytes, "")
+				})
+			}
+		}
+		for w, g := range groups {
+			w, g := w, g
+			sim.Go(fmt.Sprintf("probe%d", w), func() {
+				// Jittered start and sizes de-synchronize completions so
+				// every probe pays its own arrival + completion event.
+				sim.Sleep(time.Second + time.Duration(w*7)*time.Millisecond)
+				for k := 0; k < probesPerSwitch; k++ {
+					bytes := int64(2_000_000 + w*1009 + k*50023)
+					if _, err := net.Transfer(g[8], g[9], bytes, ""); err != nil {
+						b.Errorf("probe transfer: %v", err)
+						return
+					}
+				}
+			})
+		}
+		// Let the background flows arrive before the clock starts.
+		if err := sim.RunUntil(900 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := sim.RunUntil(5 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if got := len(net.Records()); got != expected {
+			b.Fatalf("completed %d transfers, want %d", got, expected)
+		}
+		b.StartTimer()
+	}
+	total := b.N * len(groups) * probesPerSwitch
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/xfer")
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "xfers/s")
+	b.ReportMetric(float64(hosts), "hosts")
+	b.ReportMetric(float64(len(groups)*bgPairsPerSwitch), "bgflows")
+	hits, misses := lastNet.Topology().RouteCacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "routeHitRate")
+	}
+}
+
+func BenchmarkScaleGridTransfers(b *testing.B) {
+	for _, hosts := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			runScaleTransfers(b, hosts, false)
+		})
+	}
+}
+
+func BenchmarkScaleGridTransfersNaive(b *testing.B) {
+	for _, hosts := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			runScaleTransfers(b, hosts, true)
+		})
+	}
+}
+
+// scalePairs derives a deterministic cross-site pair list.
+func scalePairs(tp *simnet.Topology, n int, seed int64) [][2]string {
+	hosts := tp.HostIDs()
+	rng := rand.New(rand.NewSource(seed))
+	var pairs [][2]string
+	for len(pairs) < n {
+		a := hosts[rng.Intn(len(hosts))]
+		b := hosts[rng.Intn(len(hosts))]
+		if a != b && a != "world" && b != "world" {
+			pairs = append(pairs, [2]string{a, b})
+		}
+	}
+	return pairs
+}
+
+// BenchmarkScaleRoutingCold measures heap-Dijkstra itself: every query
+// below hits a cold cache on a 1,000-host grid.
+func BenchmarkScaleRoutingCold(b *testing.B) {
+	const queries = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tp, _ := topo.SyntheticGrid(scaleConfigs[1000])
+		pairs := scalePairs(tp, queries, int64(i)+1)
+		b.StartTimer()
+		for _, p := range pairs {
+			if _, err := tp.Path(p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*queries), "ns/path")
+}
+
+// BenchmarkScaleFaultRerouting measures fault-scoped route-cache
+// invalidation: leaf-host crashes evict only the routes through the
+// victim, so a warm 400-pair cache keeps serving during a crash storm
+// (the old behavior wiped the whole cache on every fault).
+func BenchmarkScaleFaultRerouting(b *testing.B) {
+	tp, _ := topo.SyntheticGrid(scaleConfigs[1000])
+	pairs := scalePairs(tp, 400, 7)
+	inPairs := map[string]bool{}
+	for _, p := range pairs {
+		inPairs[p[0]] = true
+		inPairs[p[1]] = true
+	}
+	var victims []string
+	for _, h := range tp.HostIDs() {
+		if !inPairs[h] && h != "world" {
+			victims = append(victims, h)
+		}
+	}
+	for _, p := range pairs { // warm the cache
+		if _, err := tp.Path(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h0, m0 := tp.RouteCacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.SetNodeDown(victims[i%len(victims)], true)
+		for _, p := range pairs {
+			if _, err := tp.Path(p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	hits, misses := tp.RouteCacheStats()
+	hits, misses = hits-h0, misses-m0
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "routeHitRate")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pairs)), "ns/path")
+	for i := 0; i < b.N && i < len(victims); i++ {
+		tp.SetNodeDown(victims[i], false)
+	}
+}

@@ -5,6 +5,21 @@
 //
 //	benchjson -bench 'Reconcile' -out BENCH_reconcile.json ./internal/reconcile/
 //	benchjson -bench . -benchtime 1x -out BENCH_all.json ./...
+//
+// With -compare it instead diffs two artifacts and exits non-zero when
+// any benchmark's ns/op regressed by more than -threshold (default
+// 0.25 = 25%), which is the CI regression gate for the committed
+// BENCH_*.json baselines:
+//
+//	benchjson -compare old.json new.json -threshold 0.25
+//
+// With -ratio-min it asserts a same-run ns/op ratio between two
+// benchmarks of one artifact — machine-independent, the CI gate for
+// "incremental engine ≥ N× faster than the naive reference":
+//
+//	benchjson -ratio-num 'BenchmarkScaleGridTransfersNaive/hosts=1000' \
+//	          -ratio-den 'BenchmarkScaleGridTransfers/hosts=1000' \
+//	          -ratio-min 10 BENCH_scale.json
 package main
 
 import (
@@ -15,6 +30,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,14 +59,65 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark pattern (go test -bench)")
 	benchtime := flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
 	benchmem := flag.Bool("benchmem", true, "include allocation metrics")
+	compare := flag.Bool("compare", false, "compare two artifacts (old.json new.json) instead of running benchmarks")
+	threshold := flag.Float64("threshold", 0.25, "allowed ns/op regression fraction in -compare mode")
+	ratioNum := flag.String("ratio-num", "", "numerator benchmark name for the -ratio-min assertion on one artifact")
+	ratioDen := flag.String("ratio-den", "", "denominator benchmark name for the -ratio-min assertion")
+	ratioMin := flag.Float64("ratio-min", 0, "minimum ns/op ratio num/den; non-zero enables the assertion")
 	flag.Parse()
-	pkgs := flag.Args()
-	if len(pkgs) == 0 {
-		pkgs = []string{"./..."}
+	args := flag.Args()
+
+	if *ratioMin > 0 {
+		// Same-run ratio assertion: machine-independent, unlike the
+		// absolute ns/op gate of -compare.
+		if len(args) != 1 || *ratioNum == "" || *ratioDen == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -ratio-min needs -ratio-num, -ratio-den and one artifact file")
+			os.Exit(2)
+		}
+		ratio, err := artifactRatio(args[0], *ratioNum, *ratioDen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s / %s = %.1fx (minimum %.1fx)\n", *ratioNum, *ratioDen, ratio, *ratioMin)
+		if ratio < *ratioMin {
+			fmt.Fprintf(os.Stderr, "benchjson: ratio %.2f below required %.2f\n", ratio, *ratioMin)
+			os.Exit(1)
+		}
+		return
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime}
-	if *benchmem {
+	if *compare {
+		files, err := scrubCompareArgs(args, threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if len(files) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two artifact files (old new)")
+			os.Exit(2)
+		}
+		report, regressed, err := compareArtifacts(files[0], files[1], *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	runBenchmarks(*out, *bench, *benchtime, *benchmem, args)
+}
+
+func runBenchmarks(out, bench, benchtime string, benchmem bool, pkgs []string) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime}
+	if benchmem {
 		args = append(args, "-benchmem")
 	}
 	args = append(args, pkgs...)
@@ -68,8 +135,29 @@ func main() {
 		Command:    "go " + strings.Join(args, " "),
 		Benchmarks: map[string]Entry{},
 	}
+	parseBenchOutput(&art, stdout.String())
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in %v\n%s", bench, pkgs, stdout.String())
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmark(s) -> %s\n", len(art.Benchmarks), out)
+}
+
+// parseBenchOutput fills art.Benchmarks from `go test -bench` output.
+func parseBenchOutput(art *Artifact, output string) {
 	pkg := ""
-	for _, line := range strings.Split(stdout.String(), "\n") {
+	for _, line := range strings.Split(output, "\n") {
 		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
 			pkg = rest
@@ -92,20 +180,125 @@ func main() {
 		}
 		art.Benchmarks[m[1]] = entry
 	}
-	if len(art.Benchmarks) == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in %v\n%s", *bench, pkgs, stdout.String())
-		os.Exit(1)
-	}
+}
 
-	data, err := json.MarshalIndent(art, "", "  ")
+// scrubCompareArgs tolerates trailing flags after the positional files
+// (`-compare old.json new.json -threshold 0.25` or `-threshold=0.25`):
+// the flag package stops at the first positional argument.
+func scrubCompareArgs(args []string, threshold *float64) ([]string, error) {
+	var files []string
+	parse := func(s string) error {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("bad -threshold %q", s)
+		}
+		*threshold = v
+		return nil
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			if i+1 >= len(args) {
+				return nil, fmt.Errorf("%s needs a value", a)
+			}
+			if err := parse(args[i+1]); err != nil {
+				return nil, err
+			}
+			i++
+		case strings.HasPrefix(a, "-threshold=") || strings.HasPrefix(a, "--threshold="):
+			if err := parse(a[strings.Index(a, "=")+1:]); err != nil {
+				return nil, err
+			}
+		default:
+			files = append(files, a)
+		}
+	}
+	return files, nil
+}
+
+// artifactRatio returns ns/op(num) / ns/op(den) from one artifact.
+func artifactRatio(path, num, den string) (float64, error) {
+	art, err := readArtifact(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 0, err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var vals [2]float64
+	for i, name := range []string{num, den} {
+		e, ok := art.Benchmarks[name]
+		if !ok {
+			return 0, fmt.Errorf("%s: benchmark %q not in artifact", path, name)
+		}
+		ns, ok := e.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			return 0, fmt.Errorf("%s: benchmark %q has no positive ns/op", path, name)
+		}
+		vals[i] = ns
 	}
-	fmt.Printf("benchjson: %d benchmark(s) -> %s\n", len(art.Benchmarks), *out)
+	return vals[0] / vals[1], nil
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// compareArtifacts diffs the ns/op of every benchmark present in the old
+// artifact against the new one. It reports regressions beyond the
+// threshold fraction and benchmarks that disappeared; both fail the
+// gate. New-only benchmarks are informational.
+func compareArtifacts(oldPath, newPath string, threshold float64) (report string, regressed bool, err error) {
+	oldArt, err := readArtifact(oldPath)
+	if err != nil {
+		return "", false, err
+	}
+	newArt, err := readArtifact(newPath)
+	if err != nil {
+		return "", false, err
+	}
+	var b strings.Builder
+	names := make([]string, 0, len(oldArt.Benchmarks))
+	for name := range oldArt.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "benchjson: comparing %s -> %s (threshold %.0f%%)\n", oldPath, newPath, threshold*100)
+	for _, name := range names {
+		oldE := oldArt.Benchmarks[name]
+		newE, ok := newArt.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(&b, "  MISSING  %-50s (present in baseline, absent in new run)\n", name)
+			regressed = true
+			continue
+		}
+		oldNs, okOld := oldE.Metrics["ns/op"]
+		newNs, okNew := newE.Metrics["ns/op"]
+		if !okOld || !okNew || oldNs <= 0 {
+			fmt.Fprintf(&b, "  SKIP     %-50s (no ns/op to compare)\n", name)
+			continue
+		}
+		ratio := newNs/oldNs - 1
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		} else if ratio < -threshold {
+			verdict = "improved"
+		}
+		fmt.Fprintf(&b, "  %-10s %-50s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
+			verdict, name, oldNs, newNs, ratio*100)
+	}
+	for name := range newArt.Benchmarks {
+		if _, ok := oldArt.Benchmarks[name]; !ok {
+			fmt.Fprintf(&b, "  new      %-50s (no baseline yet)\n", name)
+		}
+	}
+	return b.String(), regressed, nil
 }

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, benches map[string]Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Artifact{Command: "test", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareArtifactsGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1000}},
+		"BenchmarkB": {Metrics: map[string]float64{"ns/op": 1000}},
+		"BenchmarkC": {Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1200}}, // +20%: within 25%
+		"BenchmarkB": {Metrics: map[string]float64{"ns/op": 1300}}, // +30%: regression
+		"BenchmarkC": {Metrics: map[string]float64{"ns/op": 400}},  // improvement
+		"BenchmarkD": {Metrics: map[string]float64{"ns/op": 50}},   // new, informational
+	})
+	report, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("30% regression must trip the 25% gate")
+	}
+	for _, want := range []string{"REGRESSED", "BenchmarkB", "improved", "new      BenchmarkD"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Count(report, "REGRESSED") != 1 {
+		t.Errorf("exactly one regression expected:\n%s", report)
+	}
+}
+
+func TestCompareArtifactsWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1100}},
+	})
+	_, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("+10% must pass a 25% gate")
+	}
+}
+
+func TestCompareArtifactsMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1000}},
+		"BenchmarkB": {Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	report, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("a benchmark vanishing from the run must fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Errorf("report should flag the missing benchmark:\n%s", report)
+	}
+}
+
+func TestScrubCompareArgs(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want float64
+	}{
+		{[]string{"old.json", "new.json", "-threshold", "0.5"}, 0.5},
+		{[]string{"old.json", "new.json", "-threshold=0.3"}, 0.3},
+		{[]string{"old.json", "new.json", "--threshold=0.4"}, 0.4},
+		{[]string{"old.json", "new.json"}, 0.25},
+	} {
+		threshold := 0.25
+		files, err := scrubCompareArgs(tc.args, &threshold)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if len(files) != 2 || files[0] != "old.json" || files[1] != "new.json" {
+			t.Fatalf("%v: files %v", tc.args, files)
+		}
+		if threshold != tc.want {
+			t.Fatalf("%v: threshold %v want %v", tc.args, threshold, tc.want)
+		}
+	}
+	if _, err := scrubCompareArgs([]string{"a", "b", "-threshold=bogus"}, new(float64)); err == nil {
+		t.Fatal("bogus threshold should error")
+	}
+}
+
+func TestArtifactRatio(t *testing.T) {
+	dir := t.TempDir()
+	path := writeArtifact(t, dir, "art.json", map[string]Entry{
+		"BenchmarkNaive": {Metrics: map[string]float64{"ns/op": 5000}},
+		"BenchmarkFast":  {Metrics: map[string]float64{"ns/op": 100}},
+	})
+	ratio, err := artifactRatio(path, "BenchmarkNaive", "BenchmarkFast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 50 {
+		t.Fatalf("ratio %v want 50", ratio)
+	}
+	if _, err := artifactRatio(path, "BenchmarkMissing", "BenchmarkFast"); err == nil {
+		t.Fatal("missing benchmark should error")
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+pkg: nwsenv
+BenchmarkScaleGridTransfers/hosts=1000-8         	       1	  16208686 ns/op	       400.0 bgflows	      1000 hosts	      8103 ns/xfer
+PASS
+`
+	art := Artifact{Benchmarks: map[string]Entry{}}
+	parseBenchOutput(&art, out)
+	e, ok := art.Benchmarks["BenchmarkScaleGridTransfers/hosts=1000"]
+	if !ok {
+		t.Fatalf("sub-benchmark name not parsed: %v", art.Benchmarks)
+	}
+	if e.Metrics["ns/op"] != 16208686 || e.Metrics["hosts"] != 1000 || e.Metrics["ns/xfer"] != 8103 {
+		t.Fatalf("metrics: %+v", e.Metrics)
+	}
+	if e.Package != "nwsenv" {
+		t.Fatalf("package: %q", e.Package)
+	}
+}

@@ -4,23 +4,30 @@
 //	topogen -kind random -seed 7 -subnets 4 -hosts 5 > lan.json
 //	topogen -kind dumbbell -hosts 4 -mbps 10 > dumbbell.json
 //	topogen -kind twosite -hosts 4           > twosite.json
+//	topogen -kind grid -sites 10 -switches 10 -hosts 10 > grid1000.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 )
 
 func main() {
-	kind := flag.String("kind", "enslyon", "topology kind: enslyon, random, dumbbell, twosite")
-	seed := flag.Int64("seed", 1, "random seed (kind=random)")
+	kind := flag.String("kind", "enslyon", "topology kind: enslyon, random, dumbbell, twosite, grid")
+	seed := flag.Int64("seed", 1, "random seed (kind=random, grid)")
 	subnets := flag.Int("subnets", 4, "subnet count (kind=random)")
-	hosts := flag.Int("hosts", 4, "hosts per subnet / side")
+	hosts := flag.Int("hosts", 4, "hosts per subnet / switch / side")
 	mbps := flag.Float64("mbps", 10, "bottleneck capacity in Mbps (kind=dumbbell)")
+	sites := flag.Int("sites", 2, "site count (kind=grid)")
+	switches := flag.Int("switches", 2, "switches per site (kind=grid)")
+	hubFrac := flag.Float64("hubfrac", 0, "fraction of grid segments built as hubs (kind=grid)")
+	wanMS := flag.Int64("wanms", 5, "base WAN one-way latency in ms (kind=grid)")
+	vlans := flag.Int("vlans", 1, "VLANs per site (kind=grid)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -30,6 +37,13 @@ func main() {
 		spec = topo.EnsLyonSpec()
 	case "random":
 		t, _ := topo.RandomLAN(*seed, *subnets, *hosts)
+		spec = topo.Export(t)
+	case "grid":
+		t, _ := topo.SyntheticGrid(topo.GridConfig{
+			Sites: *sites, SwitchesPerSite: *switches, HostsPerSwitch: *hosts,
+			HubFraction: *hubFrac, WANLatency: time.Duration(*wanMS) * time.Millisecond,
+			VLANsPerSite: *vlans, Seed: *seed,
+		})
 		spec = topo.Export(t)
 	case "dumbbell":
 		spec = topo.Export(topo.Dumbbell(*hosts, *mbps*simnet.Mbps))

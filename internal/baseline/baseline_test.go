@@ -110,7 +110,7 @@ func TestBlindPartitionCollidesWhereENVDoesNot(t *testing.T) {
 		t.Fatal(err)
 	}
 	dep.Stop()
-	collisions := len(net.Collisions())
+	collisions := net.CollisionCount()
 	if collisions == 0 {
 		t.Fatalf("blind partition on hubs should collide; cliques: %s", p.Summary())
 	}

@@ -323,7 +323,7 @@ func TestDeploymentCollisionRate(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, probes := net.ProbeTraffic()
-	collisions := len(net.Collisions())
+	collisions := net.CollisionCount()
 	if probes == 0 {
 		t.Fatal("no probes ran")
 	}

@@ -47,7 +47,7 @@ func Observe(net *simnet.Network, tagPrefix string, window time.Duration) Report
 	}
 	for _, c := range net.Collisions() {
 		if strings.HasPrefix(c.TagA, tagPrefix) && strings.HasPrefix(c.TagB, tagPrefix) {
-			r.Collisions++
+			r.Collisions += c.Count
 		}
 	}
 	if r.Probes > 0 {

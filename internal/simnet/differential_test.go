@@ -1,0 +1,248 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nwsenv/internal/vclock"
+)
+
+// Differential property test: the incremental fair-share engine must
+// produce the same rates and completion times as the retained naive
+// reference engine (global progressive filling at every event) over
+// randomized arrival/departure/crash/degrade/cut sequences on seeded
+// topologies. Tolerances cover only the nanosecond event-grid ceiling
+// and float associativity; any real divergence (wrong component, stale
+// rate, missed completion) blows far past them.
+
+type diffOpKind int
+
+const (
+	diffTransfer diffOpKind = iota
+	diffCrash
+	diffDegrade
+	diffCut
+)
+
+type diffOp struct {
+	at     time.Duration
+	kind   diffOpKind
+	src    string
+	dst    string
+	bytes  int64
+	tag    string
+	host   string
+	linkA  string
+	linkB  string
+	factor float64
+	dur    time.Duration
+}
+
+type diffResult struct {
+	ran bool
+	err error
+	st  TransferStats
+}
+
+// genDiffOps builds a deterministic operation schedule for a seed. It is
+// pure: both engines execute the identical list.
+func genDiffOps(seed int64, subnets int, hosts []string) []diffOp {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	var ops []diffOp
+	nxfer := 18 + rng.Intn(12)
+	for i := 0; i < nxfer; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if src == dst {
+			continue
+		}
+		tag := ""
+		if rng.Intn(4) == 0 {
+			tag = fmt.Sprintf("probe%d", i)
+		}
+		ops = append(ops, diffOp{
+			at:   time.Duration(rng.Intn(20000))*time.Millisecond + time.Duration(rng.Intn(977))*time.Microsecond,
+			kind: diffTransfer,
+			src:  src, dst: dst,
+			bytes: int64(1+rng.Intn(40)) * 499_979,
+			tag:   tag,
+		})
+	}
+	nfault := 2 + rng.Intn(3)
+	for i := 0; i < nfault; i++ {
+		at := time.Duration(3000+rng.Intn(15000))*time.Millisecond + time.Duration(rng.Intn(977))*time.Microsecond
+		dur := time.Duration(1000+rng.Intn(5000))*time.Millisecond + 311*time.Microsecond
+		switch rng.Intn(3) {
+		case 0:
+			ops = append(ops, diffOp{
+				at: at, kind: diffCrash, dur: dur,
+				host: hosts[rng.Intn(len(hosts))],
+			})
+		case 1:
+			ops = append(ops, diffOp{
+				at: at, kind: diffDegrade, dur: dur,
+				linkA:  fmt.Sprintf("r%d", rng.Intn(subnets)),
+				linkB:  "root",
+				factor: 0.1 + 0.8*rng.Float64(),
+			})
+		default:
+			h := hosts[rng.Intn(len(hosts))]
+			ops = append(ops, diffOp{
+				at: at, kind: diffCut, dur: dur,
+				linkA: h,
+				linkB: "seg" + h[1:2],
+			})
+		}
+	}
+	return ops
+}
+
+// runDiffScenario executes the schedule on a fresh network built with
+// the selected engine and returns the per-op transfer outcomes.
+func runDiffScenario(t *testing.T, seed int64, naive bool) []diffResult {
+	t.Helper()
+	const subnets, perSubnet = 3, 3
+	topo, hosts := randomLAN(seed, subnets, perSubnet)
+	sim := vclock.New()
+	var net *Network
+	if naive {
+		net = NewNaiveNetwork(sim, topo)
+	} else {
+		net = NewNetwork(sim, topo)
+	}
+	ops := genDiffOps(seed, subnets, hosts)
+	results := make([]diffResult, len(ops))
+	for i, o := range ops {
+		i, o := i, o
+		sim.Go(fmt.Sprintf("op%d", i), func() {
+			sim.Sleep(o.at)
+			switch o.kind {
+			case diffTransfer:
+				st, err := net.Transfer(o.src, o.dst, o.bytes, o.tag)
+				results[i] = diffResult{ran: true, err: err, st: st}
+			case diffCrash:
+				net.CrashHost(o.host)
+				sim.Sleep(o.dur)
+				net.RestoreHost(o.host)
+			case diffDegrade:
+				net.DegradeLink(o.linkA, o.linkB, o.factor)
+				sim.Sleep(o.dur)
+				net.RestoreLink(o.linkA, o.linkB)
+			case diffCut:
+				net.CutLink(o.linkA, o.linkB)
+				sim.Sleep(o.dur)
+				net.HealLink(o.linkA, o.linkB)
+			}
+		})
+	}
+	if err := sim.RunUntil(4 * time.Hour); err != nil {
+		t.Fatalf("seed %d naive=%v: %v", seed, naive, err)
+	}
+	return results
+}
+
+func TestDifferentialIncrementalVsNaive(t *testing.T) {
+	const (
+		rateTol = 1e-6                 // relative AvgBps tolerance
+		endTol  = 2 * time.Microsecond // absolute completion-time tolerance
+	)
+	for seed := int64(1); seed <= 10; seed++ {
+		inc := runDiffScenario(t, seed, false)
+		ref := runDiffScenario(t, seed, true)
+		if len(inc) != len(ref) {
+			t.Fatalf("seed %d: op count mismatch %d vs %d", seed, len(inc), len(ref))
+		}
+		for i := range inc {
+			a, b := inc[i], ref[i]
+			if !a.ran || !b.ran {
+				continue // fault op
+			}
+			if (a.err != nil) != (b.err != nil) {
+				t.Errorf("seed %d op %d: error divergence: incremental=%v reference=%v", seed, i, a.err, b.err)
+				continue
+			}
+			if a.err != nil {
+				continue
+			}
+			if a.st.Bytes != b.st.Bytes || a.st.Src != b.st.Src || a.st.Dst != b.st.Dst {
+				t.Errorf("seed %d op %d: stats identity mismatch: %+v vs %+v", seed, i, a.st, b.st)
+				continue
+			}
+			if rel := math.Abs(a.st.AvgBps-b.st.AvgBps) / b.st.AvgBps; rel > rateTol {
+				t.Errorf("seed %d op %d (%s->%s): rate divergence %.3g: incremental %.6f Mbps vs reference %.6f Mbps",
+					seed, i, a.st.Src, a.st.Dst, rel, a.st.AvgBps/1e6, b.st.AvgBps/1e6)
+			}
+			if d := a.st.End - b.st.End; d > endTol || d < -endTol {
+				t.Errorf("seed %d op %d (%s->%s): completion divergence %v: incremental %v vs reference %v",
+					seed, i, a.st.Src, a.st.Dst, d, a.st.End, b.st.End)
+			}
+			if d := a.st.Start - b.st.Start; d > endTol || d < -endTol {
+				t.Errorf("seed %d op %d: start divergence %v", seed, i, d)
+			}
+		}
+	}
+}
+
+// TestDifferentialPureContention has no faults: dense overlapping
+// transfers between few hosts so every arrival and departure reshuffles
+// shares. Engines must agree pairwise on every completion.
+func TestDifferentialPureContention(t *testing.T) {
+	run := func(naive bool) []diffResult {
+		topo, hosts := randomLAN(99, 2, 3)
+		sim := vclock.New()
+		var net *Network
+		if naive {
+			net = NewNaiveNetwork(sim, topo)
+		} else {
+			net = NewNetwork(sim, topo)
+		}
+		rng := rand.New(rand.NewSource(4242))
+		var ops []diffOp
+		for i := 0; i < 40; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			ops = append(ops, diffOp{
+				at:  time.Duration(rng.Intn(3000)) * time.Millisecond,
+				src: src, dst: dst,
+				bytes: int64(1+rng.Intn(25)) * 999_983,
+			})
+		}
+		results := make([]diffResult, len(ops))
+		for i, o := range ops {
+			i, o := i, o
+			sim.Go(fmt.Sprintf("op%d", i), func() {
+				sim.Sleep(o.at)
+				st, err := net.Transfer(o.src, o.dst, o.bytes, "")
+				results[i] = diffResult{ran: true, err: err, st: st}
+			})
+		}
+		if err := sim.RunUntil(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	inc, ref := run(false), run(true)
+	for i := range inc {
+		if !inc[i].ran {
+			continue
+		}
+		if (inc[i].err != nil) != (ref[i].err != nil) {
+			t.Fatalf("op %d: error divergence", i)
+		}
+		if inc[i].err != nil {
+			continue
+		}
+		if rel := math.Abs(inc[i].st.AvgBps-ref[i].st.AvgBps) / ref[i].st.AvgBps; rel > 1e-6 {
+			t.Errorf("op %d: rate divergence %.3g", i, rel)
+		}
+		if d := inc[i].st.End - ref[i].st.End; d > 2*time.Microsecond || d < -2*time.Microsecond {
+			t.Errorf("op %d: completion divergence %v", i, d)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Fault injection: the controlled "platform evolution" of §4.3. Faults
 // are applied through the Network (not the Topology directly) so that
@@ -8,6 +11,10 @@ import "fmt"
 // their endpoint or path abort with an error, and the max-min fair
 // shares of the survivors are recomputed — exactly what a deployed
 // monitoring system would observe when a machine dies or a link is cut.
+//
+// Under the incremental engine only the connected components of flows
+// actually touched by the fault are recomputed; the naive reference
+// engine recomputes everything, as it always did.
 
 // CrashHost takes host id down: it stops sourcing, sinking and
 // forwarding traffic, its in-flight transfers abort, and routing flows
@@ -15,10 +22,11 @@ import "fmt"
 func (n *Network) CrashHost(id string) {
 	err := fmt.Errorf("simnet: host %s is down", id)
 	n.mu.Lock()
-	n.settleLocked()
+	if n.naive {
+		n.settleAllLocked()
+	}
 	n.topo.SetNodeDown(id, true)
 	aborted := n.abortLocked(func(f *flow) bool { return f.src == id || f.dst == id })
-	n.recomputeLocked()
 	n.mu.Unlock()
 	n.failFlows(aborted, err)
 }
@@ -51,10 +59,8 @@ func (n *Network) DegradeLink(a, b string, factor float64) {
 		panic(fmt.Sprintf("simnet: DegradeLink: no link %s-%s", a, b))
 	}
 	n.mu.Lock()
-	n.settleLocked()
 	n.linkFactor[l] = factor
 	n.rescaleLinkLocked(l)
-	n.recomputeLocked()
 	n.mu.Unlock()
 }
 
@@ -65,10 +71,8 @@ func (n *Network) RestoreLink(a, b string) {
 		panic(fmt.Sprintf("simnet: RestoreLink: no link %s-%s", a, b))
 	}
 	n.mu.Lock()
-	n.settleLocked()
 	delete(n.linkFactor, l)
 	n.rescaleLinkLocked(l)
-	n.recomputeLocked()
 	n.mu.Unlock()
 }
 
@@ -93,7 +97,9 @@ func (n *Network) LinkFactor(a, b string) float64 {
 func (n *Network) CutLink(a, b string) {
 	err := fmt.Errorf("simnet: link %s-%s is cut", a, b)
 	n.mu.Lock()
-	n.settleLocked()
+	if n.naive {
+		n.settleAllLocked()
+	}
 	n.topo.SetLinkDisabled(a, b, true)
 	cut := map[*resource]bool{}
 	for _, key := range []string{"edge:" + a + "->" + b, "edge:" + b + "->" + a} {
@@ -109,7 +115,6 @@ func (n *Network) CutLink(a, b string) {
 		}
 		return false
 	})
-	n.recomputeLocked()
 	n.mu.Unlock()
 	n.failFlows(aborted, err)
 }
@@ -122,32 +127,86 @@ func (n *Network) HealLink(a, b string) {
 }
 
 // rescaleLinkLocked pushes the link's current factor into the live
-// resource table so running flows feel the change.
+// resource table so running flows feel the change, and recomputes the
+// affected shares (only the components crossing the link under the
+// incremental engine).
 func (n *Network) rescaleLinkLocked(l *Link) {
 	factor, ok := n.linkFactor[l]
 	if !ok {
 		factor = 1
 	}
-	if r, exists := n.resources["edge:"+l.A+"->"+l.B]; exists {
-		r.cap = l.BWAtoB * factor / 8
+	if n.naive {
+		n.settleAllLocked()
 	}
-	if r, exists := n.resources["edge:"+l.B+"->"+l.A]; exists {
-		r.cap = l.BWBtoA * factor / 8
-	}
-}
-
-// abortLocked removes the flows matching pred from the active set and
-// returns them; the caller must fail them outside the lock.
-func (n *Network) abortLocked(pred func(*flow) bool) []*flow {
-	var aborted, remaining []*flow
-	for _, f := range n.flows {
-		if pred(f) {
-			aborted = append(aborted, f)
+	var touched []*flow
+	for _, key := range []string{"edge:" + l.A + "->" + l.B, "edge:" + l.B + "->" + l.A} {
+		r, exists := n.resources[key]
+		if !exists {
+			continue
+		}
+		if key == "edge:"+l.A+"->"+l.B {
+			r.cap = l.BWAtoB * factor / 8
 		} else {
-			remaining = append(remaining, f)
+			r.cap = l.BWBtoA * factor / 8
+		}
+		if !n.naive {
+			for _, f := range r.flows {
+				touched = append(touched, f)
+			}
 		}
 	}
-	n.flows = remaining
+	if n.naive {
+		n.recomputeNaiveLocked()
+		return
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i].id < touched[j].id })
+	n.recomputeComponentLocked(touched)
+	n.scheduleNextLocked()
+}
+
+// abortLocked removes the flows matching pred from the active set,
+// recomputes the survivors' shares and returns the aborted flows; the
+// caller must fail them outside the lock.
+func (n *Network) abortLocked(pred func(*flow) bool) []*flow {
+	var aborted []*flow
+	if n.naive {
+		for _, f := range n.order {
+			if pred(f) {
+				aborted = append(aborted, f)
+			}
+		}
+	} else {
+		for _, f := range n.active {
+			if pred(f) {
+				aborted = append(aborted, f)
+			}
+		}
+		sort.Slice(aborted, func(i, j int) bool { return aborted[i].id < aborted[j].id })
+	}
+	for _, f := range aborted {
+		n.removeFlowLocked(f)
+	}
+	if n.naive {
+		n.recomputeNaiveLocked()
+		return aborted
+	}
+	// Only the components that shared a resource with an aborted flow
+	// can gain capacity.
+	seen := map[int64]bool{}
+	var neighbors []*flow
+	for _, f := range aborted {
+		for _, r := range f.res {
+			for id, g := range r.flows {
+				if !seen[id] {
+					seen[id] = true
+					neighbors = append(neighbors, g)
+				}
+			}
+		}
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i].id < neighbors[j].id })
+	n.recomputeComponentLocked(neighbors)
+	n.scheduleNextLocked()
 	return aborted
 }
 

@@ -1,0 +1,133 @@
+package simnet
+
+import (
+	"math"
+	"time"
+)
+
+// Naive reference fair-share engine: the original implementation, which
+// re-runs global progressive filling over every live flow and resource
+// at every event and scans all flows for the next completion. Retained
+// verbatim (modulo the shared bookkeeping) so the incremental engine in
+// fairshare.go can be differential-tested and benchmarked against it.
+// Construct with NewNaiveNetwork.
+
+// settleAllLocked advances every active flow's progress to the current
+// time.
+func (n *Network) settleAllLocked() {
+	now := n.sim.Now()
+	dt := (now - n.lastSettle).Seconds()
+	if dt > 0 {
+		for _, f := range n.order {
+			f.remaining -= f.rate * dt
+			f.settledAt = now
+		}
+	}
+	n.lastSettle = now
+}
+
+// recomputeNaiveLocked reassigns max-min fair rates over every live flow
+// and schedules the next completion event by linear scan.
+func (n *Network) recomputeNaiveLocked() {
+	// Progressive filling.
+	capLeft := map[*resource]float64{}
+	load := map[*resource]int{}
+	for _, f := range n.order {
+		f.rate = 0
+		for _, r := range f.res {
+			if _, ok := capLeft[r]; !ok {
+				capLeft[r] = r.cap
+			}
+			load[r]++
+		}
+	}
+	unfrozen := make([]*flow, len(n.order))
+	copy(unfrozen, n.order)
+	for len(unfrozen) > 0 {
+		inc := math.Inf(1)
+		for r, cnt := range load {
+			if cnt <= 0 {
+				continue
+			}
+			if share := capLeft[r] / float64(cnt); share < inc {
+				inc = share
+			}
+		}
+		if math.IsInf(inc, 1) || inc <= 0 {
+			// No constraining resource (or float exhaustion): freeze rest.
+			break
+		}
+		for _, f := range unfrozen {
+			f.rate += inc
+		}
+		for r, cnt := range load {
+			if cnt > 0 {
+				capLeft[r] -= inc * float64(cnt)
+			}
+		}
+		var still []*flow
+		for _, f := range unfrozen {
+			frozen := false
+			for _, r := range f.res {
+				if capLeft[r] <= 1e-9*r.cap {
+					frozen = true
+					break
+				}
+			}
+			if frozen {
+				for _, r := range f.res {
+					load[r]--
+				}
+			} else {
+				still = append(still, f)
+			}
+		}
+		unfrozen = still
+	}
+
+	// Schedule the earliest completion.
+	if n.completion != nil {
+		n.completion.Cancel()
+		n.completion = nil
+	}
+	if len(n.order) == 0 {
+		return
+	}
+	soonest := math.Inf(1)
+	for _, f := range n.order {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	delay := time.Duration(math.Ceil(soonest * float64(time.Second)))
+	n.completion = n.sim.After(delay, n.onCompletion)
+}
+
+func (n *Network) onCompletionNaive() {
+	n.mu.Lock()
+	n.settleAllLocked()
+	var finished []*flow
+	for _, f := range n.order {
+		if f.remaining <= completionEps {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		n.removeFlowLocked(f)
+	}
+	stats := n.finishFlowsLocked(finished)
+	n.recomputeNaiveLocked()
+	n.mu.Unlock()
+	for i, f := range finished {
+		f.done.Send(xferOutcome{stats: stats[i]})
+	}
+}

@@ -2,7 +2,7 @@ package simnet
 
 import (
 	"fmt"
-	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,16 +30,29 @@ type TransferStats struct {
 
 // CollisionEvent records two tagged probe flows competing for a resource —
 // exactly the situation the NWS clique protocol exists to prevent (§2.3).
+// Repeated collisions of the same (TagA, TagB, Resource) triple are
+// aggregated: Count is the number of occurrences, At the first and Last
+// the most recent, so collision accounting stays bounded under long runs.
 type CollisionEvent struct {
 	At       time.Duration
 	TagA     string
 	TagB     string
 	Resource string
+	Count    int
+	Last     time.Duration
+}
+
+type collisionKey struct {
+	tagA, tagB, resource string
 }
 
 type resource struct {
 	key string
 	cap float64 // bytes per second
+	// flows indexes the active flows crossing this resource; it is the
+	// flow⇄resource index the incremental fair-share engine walks to
+	// find the connected component a change can affect.
+	flows map[int64]*flow
 }
 
 // xferOutcome is what a finished (or aborted) flow reports back to the
@@ -50,52 +63,96 @@ type xferOutcome struct {
 }
 
 type flow struct {
-	id        int64
-	src, dst  string
-	tag       string
-	bytes     float64
+	id       int64
+	src, dst string
+	tag      string
+	bytes    float64
+	// remaining is the outstanding byte count as of settledAt. The naive
+	// engine settles every flow at every event (settledAt tracks the
+	// global lastSettle); the incremental engine settles a flow lazily,
+	// only when its own rate changes.
 	remaining float64
+	settledAt time.Duration
 	rate      float64 // bytes per second
 	res       []*resource
 	done      *vclock.Chan[xferOutcome]
 	started   time.Duration
 	aloneBps  float64
+	// heapIdx/compAt place the flow in the completion min-heap of the
+	// incremental engine (-1 when not enqueued).
+	heapIdx int
+	compAt  time.Duration
 }
 
 // Network executes transfers over a Topology in virtual time, sharing
 // capacity among concurrent flows by max-min fairness.
+//
+// Two fair-share engines are available. The default (incremental) engine
+// maintains a flow⇄resource index and recomputes, on each flow arrival,
+// departure or fault, only the connected component of flows that
+// transitively share a resource with the change; completions are
+// scheduled from a min-heap. NewNaiveNetwork retains the original
+// reference engine that re-runs progressive filling over every live flow
+// at every event; it exists to differential-test and benchmark the
+// incremental engine against.
 type Network struct {
-	sim  *vclock.Sim
-	topo *Topology
+	sim   *vclock.Sim
+	topo  *Topology
+	naive bool
 
 	mu         sync.Mutex
 	nextFlowID int64
-	flows      []*flow
-	resources  map[string]*resource
+	// active indexes all in-flight flows by id. The naive engine
+	// additionally keeps order (arrival order) because its reference
+	// algorithm iterates flows in that order.
+	active map[int64]*flow
+	order  []*flow
+	// compHeap orders active flows by projected completion time
+	// (incremental engine only).
+	compHeap  flowHeap
+	resources map[string]*resource
 	// linkFactor scales the capacity of degraded links (fault injection);
 	// absent links run at nominal capacity.
 	linkFactor map[*Link]float64
 	lastSettle time.Duration
 	completion *vclock.Event
 
-	records    []TransferStats
-	collisions []CollisionEvent
-	probeBytes map[string]int64 // bytes transferred per tag
-	probeCount map[string]int
+	records      []TransferStats
+	collisions   []*CollisionEvent
+	collisionIdx map[collisionKey]*CollisionEvent
+	probeBytes   map[string]int64 // bytes transferred per tag
+	probeCount   map[string]int
 }
 
-// NewNetwork binds a topology to a simulation.
+// NewNetwork binds a topology to a simulation using the incremental
+// fair-share engine.
 func NewNetwork(sim *vclock.Sim, topo *Topology) *Network {
+	return newNetwork(sim, topo, false)
+}
+
+// NewNaiveNetwork binds a topology to a simulation using the retained
+// reference engine: global progressive filling over every live flow at
+// every event. It is kept for differential tests and before/after
+// benchmarks of the incremental engine; simulation results are
+// equivalent up to floating-point scheduling noise.
+func NewNaiveNetwork(sim *vclock.Sim, topo *Topology) *Network {
+	return newNetwork(sim, topo, true)
+}
+
+func newNetwork(sim *vclock.Sim, topo *Topology, naive bool) *Network {
 	if err := topo.Validate(); err != nil {
 		panic(err)
 	}
 	return &Network{
-		sim:        sim,
-		topo:       topo,
-		resources:  map[string]*resource{},
-		linkFactor: map[*Link]float64{},
-		probeBytes: map[string]int64{},
-		probeCount: map[string]int{},
+		sim:          sim,
+		topo:         topo,
+		naive:        naive,
+		active:       map[int64]*flow{},
+		resources:    map[string]*resource{},
+		linkFactor:   map[*Link]float64{},
+		collisionIdx: map[collisionKey]*CollisionEvent{},
+		probeBytes:   map[string]int64{},
+		probeCount:   map[string]int{},
 	}
 }
 
@@ -109,7 +166,7 @@ func (n *Network) resourceFor(key string, capBits float64) *resource {
 	if r, ok := n.resources[key]; ok {
 		return r
 	}
-	r := &resource{key: key, cap: capBits / 8}
+	r := &resource{key: key, cap: capBits / 8, flows: map[int64]*flow{}}
 	n.resources[key] = r
 	return r
 }
@@ -174,8 +231,14 @@ func (n *Network) Transfer(src, dst string, bytes int64, tag string) (TransferSt
 	if err != nil {
 		return TransferStats{}, err
 	}
-	path, _ := n.topo.Path(src, dst)
-	alone, _ := n.topo.AloneBandwidth(src, dst)
+	path, err := n.topo.Path(src, dst)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	alone, err := n.topo.AloneBandwidth(src, dst)
+	if err != nil {
+		return TransferStats{}, err
+	}
 	if bytes <= 0 {
 		bytes = 1
 	}
@@ -188,20 +251,29 @@ func (n *Network) Transfer(src, dst string, bytes int64, tag string) (TransferSt
 		done:     vclock.NewChan[xferOutcome](n.sim, "xfer:"+src+"->"+dst),
 		started:  n.sim.Now(),
 		aloneBps: alone,
+		heapIdx:  -1,
 	}
 
 	n.mu.Lock()
 	n.nextFlowID++
 	f.id = n.nextFlowID
+	f.settledAt = f.started
 	f.res = n.pathResources(path)
-	n.settleLocked()
+	if n.naive {
+		n.settleAllLocked()
+	}
 	if tag != "" {
 		n.noteCollisionsLocked(f)
 		n.probeBytes[tag] += bytes
 		n.probeCount[tag]++
 	}
-	n.flows = append(n.flows, f)
-	n.recomputeLocked()
+	n.addFlowLocked(f)
+	if n.naive {
+		n.recomputeNaiveLocked()
+	} else {
+		n.recomputeComponentLocked([]*flow{f})
+		n.scheduleNextLocked()
+	}
 	n.mu.Unlock()
 
 	out, _ := f.done.Recv()
@@ -209,6 +281,38 @@ func (n *Network) Transfer(src, dst string, bytes int64, tag string) (TransferSt
 		return TransferStats{}, out.err
 	}
 	return out.stats, nil
+}
+
+// addFlowLocked inserts f into the active set and the flow⇄resource
+// index.
+func (n *Network) addFlowLocked(f *flow) {
+	n.active[f.id] = f
+	if n.naive {
+		n.order = append(n.order, f)
+	}
+	for _, r := range f.res {
+		r.flows[f.id] = f
+	}
+}
+
+// removeFlowLocked drops f from the active set, the flow⇄resource index
+// and (incremental engine) the completion heap.
+func (n *Network) removeFlowLocked(f *flow) {
+	delete(n.active, f.id)
+	for _, r := range f.res {
+		delete(r.flows, f.id)
+	}
+	if f.heapIdx >= 0 {
+		n.compHeap.remove(f)
+	}
+	if n.naive {
+		for i, g := range n.order {
+			if g == f {
+				n.order = append(n.order[:i], n.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Latency returns the one-way path latency from src to dst.
@@ -284,31 +388,37 @@ func (n *Network) Deliver(src, dst string, bytes int64, fn func()) error {
 	return nil
 }
 
-// settleLocked advances every active flow's progress to the current time.
-func (n *Network) settleLocked() {
-	now := n.sim.Now()
-	dt := (now - n.lastSettle).Seconds()
-	if dt > 0 {
-		for _, f := range n.flows {
-			f.remaining -= f.rate * dt
-		}
-	}
-	n.lastSettle = now
-}
-
-// noteCollisionsLocked records probe-vs-probe contention created by adding f.
+// noteCollisionsLocked records probe-vs-probe contention created by
+// adding f: for each already-active tagged flow sharing at least one
+// resource with f, one collision on the first shared resource in f's
+// path order. The incremental engine finds candidates through the
+// flow⇄resource index instead of scanning every live flow.
 func (n *Network) noteCollisionsLocked(f *flow) {
-	for _, g := range n.flows {
-		if g.tag == "" {
-			continue
+	var candidates []*flow
+	if n.naive {
+		for _, g := range n.order {
+			if g.tag != "" {
+				candidates = append(candidates, g)
+			}
 		}
+	} else {
+		seen := map[int64]bool{}
+		for _, r := range f.res {
+			for id, g := range r.flows {
+				if g.tag != "" && !seen[id] {
+					seen[id] = true
+					candidates = append(candidates, g)
+				}
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].id < candidates[j].id })
+	}
+	for _, g := range candidates {
 		for _, rf := range f.res {
 			shared := false
 			for _, rg := range g.res {
 				if rf == rg {
-					n.collisions = append(n.collisions, CollisionEvent{
-						At: n.sim.Now(), TagA: g.tag, TagB: f.tag, Resource: rf.key,
-					})
+					n.recordCollisionLocked(g.tag, f.tag, rf.key)
 					shared = true
 					break
 				}
@@ -320,107 +430,26 @@ func (n *Network) noteCollisionsLocked(f *flow) {
 	}
 }
 
-// recomputeLocked reassigns max-min fair rates and schedules the next
-// completion event.
-func (n *Network) recomputeLocked() {
-	// Progressive filling.
-	capLeft := map[*resource]float64{}
-	load := map[*resource]int{}
-	for _, f := range n.flows {
-		f.rate = 0
-		for _, r := range f.res {
-			if _, ok := capLeft[r]; !ok {
-				capLeft[r] = r.cap
-			}
-			load[r]++
-		}
-	}
-	unfrozen := make([]*flow, len(n.flows))
-	copy(unfrozen, n.flows)
-	for len(unfrozen) > 0 {
-		inc := math.Inf(1)
-		for r, cnt := range load {
-			if cnt <= 0 {
-				continue
-			}
-			if share := capLeft[r] / float64(cnt); share < inc {
-				inc = share
-			}
-		}
-		if math.IsInf(inc, 1) || inc <= 0 {
-			// No constraining resource (or float exhaustion): freeze rest.
-			break
-		}
-		for _, f := range unfrozen {
-			f.rate += inc
-		}
-		for r, cnt := range load {
-			if cnt > 0 {
-				capLeft[r] -= inc * float64(cnt)
-			}
-		}
-		var still []*flow
-		for _, f := range unfrozen {
-			frozen := false
-			for _, r := range f.res {
-				if capLeft[r] <= 1e-9*r.cap {
-					frozen = true
-					break
-				}
-			}
-			if frozen {
-				for _, r := range f.res {
-					load[r]--
-				}
-			} else {
-				still = append(still, f)
-			}
-		}
-		unfrozen = still
-	}
-
-	// Schedule the earliest completion.
-	if n.completion != nil {
-		n.completion.Cancel()
-		n.completion = nil
-	}
-	if len(n.flows) == 0 {
+// recordCollisionLocked aggregates one collision occurrence.
+func (n *Network) recordCollisionLocked(tagA, tagB, resource string) {
+	now := n.sim.Now()
+	k := collisionKey{tagA, tagB, resource}
+	if c, ok := n.collisionIdx[k]; ok {
+		c.Count++
+		c.Last = now
 		return
 	}
-	soonest := math.Inf(1)
-	for _, f := range n.flows {
-		if f.rate <= 0 {
-			continue
-		}
-		if t := f.remaining / f.rate; t < soonest {
-			soonest = t
-		}
-	}
-	if math.IsInf(soonest, 1) {
-		return
-	}
-	if soonest < 0 {
-		soonest = 0
-	}
-	delay := time.Duration(math.Ceil(soonest * float64(time.Second)))
-	n.completion = n.sim.After(delay, n.onCompletion)
+	c := &CollisionEvent{At: now, TagA: tagA, TagB: tagB, Resource: resource, Count: 1, Last: now}
+	n.collisionIdx[k] = c
+	n.collisions = append(n.collisions, c)
 }
 
-func (n *Network) onCompletion() {
-	n.mu.Lock()
-	n.settleLocked()
-	var remaining []*flow
-	var finished []*flow
-	for _, f := range n.flows {
-		if f.remaining <= completionEps {
-			finished = append(finished, f)
-		} else {
-			remaining = append(remaining, f)
-		}
-	}
-	n.flows = remaining
+// finishFlowsLocked settles the finished flows' statistics, removes them
+// from the active set and returns the outcome sends to perform outside
+// the lock. finished must be sorted by flow id.
+func (n *Network) finishFlowsLocked(finished []*flow) []TransferStats {
 	now := n.sim.Now()
-	var stats []TransferStats
+	stats := make([]TransferStats, 0, len(finished))
 	for _, f := range finished {
 		dur := now - f.started
 		var bps float64
@@ -437,18 +466,22 @@ func (n *Network) onCompletion() {
 		n.records = append(n.records, st)
 		stats = append(stats, st)
 	}
-	n.recomputeLocked()
-	n.mu.Unlock()
-	for i, f := range finished {
-		f.done.Send(xferOutcome{stats: stats[i]})
+	return stats
+}
+
+func (n *Network) onCompletion() {
+	if n.naive {
+		n.onCompletionNaive()
+		return
 	}
+	n.onCompletionIncremental()
 }
 
 // ActiveFlows returns the number of in-flight transfers.
 func (n *Network) ActiveFlows() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.flows)
+	return len(n.active)
 }
 
 // Records returns all completed transfer statistics, in completion order.
@@ -458,11 +491,29 @@ func (n *Network) Records() []TransferStats {
 	return append([]TransferStats(nil), n.records...)
 }
 
-// Collisions returns all probe-vs-probe contention events.
+// Collisions returns all probe-vs-probe contention aggregates in
+// first-occurrence order. Each entry carries the occurrence Count and
+// the first (At) and most recent (Last) timestamps.
 func (n *Network) Collisions() []CollisionEvent {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return append([]CollisionEvent(nil), n.collisions...)
+	out := make([]CollisionEvent, 0, len(n.collisions))
+	for _, c := range n.collisions {
+		out = append(out, *c)
+	}
+	return out
+}
+
+// CollisionCount returns the total number of collision occurrences
+// (the sum of all aggregate counts).
+func (n *Network) CollisionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, c := range n.collisions {
+		total += c.Count
+	}
+	return total
 }
 
 // ProbeTraffic reports total probe bytes and probe count per tag prefix.
@@ -485,6 +536,7 @@ func (n *Network) ResetAccounting() {
 	defer n.mu.Unlock()
 	n.records = nil
 	n.collisions = nil
+	n.collisionIdx = map[collisionKey]*CollisionEvent{}
 	n.probeBytes = map[string]int64{}
 	n.probeCount = map[string]int{}
 }

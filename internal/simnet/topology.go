@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,13 @@ type Topology struct {
 	links []*Link
 	// adj[node] lists link indices touching the node.
 	adj map[string][]int
+	// linkByDir resolves the (first) link between an ordered node pair in
+	// O(1); both orientations are present.
+	linkByDir map[[2]string]*Link
+	// explicitVLANs is the set of VLAN ids listed on at least one link
+	// ACL. Routers only ever need to re-tag onto one of these (or the
+	// destination's VLAN): links without an ACL accept any tag.
+	explicitVLANs map[int]struct{}
 	// routeOverride maps "src->dst" to an explicit node path.
 	routeOverride map[string][]string
 	// ExternalTarget names the node ENV traceroutes target to discover the
@@ -37,7 +45,15 @@ type Topology struct {
 	downNodes     map[string]bool
 	disabledLinks map[*Link]bool
 
-	routeCache map[string][]string
+	// routeCache holds computed paths ("src->dst" → node path, nil for a
+	// proven absence of route). nodeRouteIdx and linkRouteIdx index the
+	// positive entries by the elements they traverse, so a fault evicts
+	// only the paths it actually breaks instead of wiping the cache.
+	routeCache   map[string][]string
+	nodeRouteIdx map[string]map[string]struct{}
+	linkRouteIdx map[*Link]map[string]struct{}
+
+	cacheHits, cacheMisses int64
 }
 
 // NewTopology returns an empty topology.
@@ -45,10 +61,14 @@ func NewTopology() *Topology {
 	return &Topology{
 		nodes:         map[string]*Node{},
 		adj:           map[string][]int{},
+		linkByDir:     map[[2]string]*Link{},
+		explicitVLANs: map[int]struct{}{},
 		routeOverride: map[string][]string{},
 		downNodes:     map[string]bool{},
 		disabledLinks: map[*Link]bool{},
 		routeCache:    map[string][]string{},
+		nodeRouteIdx:  map[string]map[string]struct{}{},
+		linkRouteIdx:  map[*Link]map[string]struct{}{},
 	}
 }
 
@@ -153,7 +173,16 @@ func (t *Topology) Connect(a, b string, opts ...LinkOption) *Link {
 	t.links = append(t.links, l)
 	t.adj[a] = append(t.adj[a], idx)
 	t.adj[b] = append(t.adj[b], idx)
-	t.routeCache = map[string][]string{}
+	// First link between a pair wins the directed lookup, matching the
+	// former adjacency-scan behavior on parallel links.
+	if _, ok := t.linkByDir[[2]string{a, b}]; !ok {
+		t.linkByDir[[2]string{a, b}] = l
+		t.linkByDir[[2]string{b, a}] = l
+	}
+	for _, v := range l.VLANs {
+		t.explicitVLANs[v] = struct{}{}
+	}
+	t.invalidateAllRoutesLocked()
 	return l
 }
 
@@ -173,29 +202,111 @@ func (t *Topology) SetRoute(src, dst string, path []string) {
 		}
 	}
 	t.routeOverride[src+"->"+dst] = append([]string(nil), path...)
-	t.routeCache = map[string][]string{}
+	t.invalidateAllRoutesLocked()
 }
 
 func (t *Topology) findLink(a, b string) *Link {
-	for _, idx := range t.adj[a] {
-		l := t.links[idx]
-		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
-			return l
+	return t.linkByDir[[2]string{a, b}]
+}
+
+// invalidateAllRoutesLocked wipes the route cache and its element index.
+// Used on structural changes (Connect, SetRoute) and on fault repairs,
+// where new, better paths may appear anywhere.
+func (t *Topology) invalidateAllRoutesLocked() {
+	if len(t.routeCache) == 0 {
+		return
+	}
+	t.routeCache = map[string][]string{}
+	t.nodeRouteIdx = map[string]map[string]struct{}{}
+	t.linkRouteIdx = map[*Link]map[string]struct{}{}
+}
+
+// invalidateNodeRoutes evicts only the cached paths that traverse node
+// id. Negative entries (no route) stay: removing an element cannot
+// create a route, and surviving paths that avoid the element keep their
+// optimality.
+func (t *Topology) invalidateNodeRoutes(id string) {
+	for key := range t.nodeRouteIdx[id] {
+		t.dropRouteKey(key)
+	}
+	delete(t.nodeRouteIdx, id)
+}
+
+// invalidateLinkRoutes evicts only the cached paths crossing l.
+func (t *Topology) invalidateLinkRoutes(l *Link) {
+	for key := range t.linkRouteIdx[l] {
+		t.dropRouteKey(key)
+	}
+	delete(t.linkRouteIdx, l)
+}
+
+// dropRouteKey evicts one cached path and de-indexes it from every
+// element it traversed, so a re-cached route is never spuriously
+// evicted by a later fault on the old path and the index stays exact.
+func (t *Topology) dropRouteKey(key string) {
+	p, ok := t.routeCache[key]
+	delete(t.routeCache, key)
+	if !ok || p == nil {
+		return
+	}
+	for _, id := range p {
+		delete(t.nodeRouteIdx[id], key)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if l := t.findLink(p[i], p[i+1]); l != nil {
+			delete(t.linkRouteIdx[l], key)
 		}
 	}
-	return nil
+}
+
+// cacheRoute stores a computed path and indexes it by every element it
+// traverses.
+func (t *Topology) cacheRoute(key string, p []string) {
+	t.routeCache[key] = p
+	if p == nil {
+		return
+	}
+	for _, id := range p {
+		set := t.nodeRouteIdx[id]
+		if set == nil {
+			set = map[string]struct{}{}
+			t.nodeRouteIdx[id] = set
+		}
+		set[key] = struct{}{}
+	}
+	for i := 0; i+1 < len(p); i++ {
+		l := t.findLink(p[i], p[i+1])
+		set := t.linkRouteIdx[l]
+		if set == nil {
+			set = map[string]struct{}{}
+			t.linkRouteIdx[l] = set
+		}
+		set[key] = struct{}{}
+	}
+}
+
+// RouteCacheStats reports cumulative route-cache hits and misses (a miss
+// runs Dijkstra). Useful to quantify fault-scoped invalidation.
+func (t *Topology) RouteCacheStats() (hits, misses int64) {
+	return t.cacheHits, t.cacheMisses
 }
 
 // SetNodeDown crashes (or restores) a node: a down node neither
 // sources, sinks nor forwards traffic, so routing avoids it entirely.
 // Prefer the Network fault API (CrashHost), which also settles the
-// in-flight flows consistently.
+// in-flight flows consistently. Crashing evicts only the cached routes
+// through the node; restoring wipes the cache (shorter paths and
+// previously impossible routes may reappear anywhere).
 func (t *Topology) SetNodeDown(id string, down bool) {
 	if t.nodes[id] == nil {
 		panic(fmt.Sprintf("simnet: SetNodeDown(%q): unknown node", id))
 	}
 	t.downNodes[id] = down
-	t.routeCache = map[string][]string{}
+	if down {
+		t.invalidateNodeRoutes(id)
+	} else {
+		t.invalidateAllRoutesLocked()
+	}
 }
 
 // NodeDown reports the fault state of a node.
@@ -203,14 +314,19 @@ func (t *Topology) NodeDown(id string) bool { return t.downNodes[id] }
 
 // SetLinkDisabled severs (or heals) the link between a and b. Routing
 // recomputes around it; prefer the Network fault API (CutLink), which
-// also aborts the flows crossing it.
+// also aborts the flows crossing it. Cutting evicts only the cached
+// routes over the link; healing wipes the cache.
 func (t *Topology) SetLinkDisabled(a, b string, disabled bool) {
 	l := t.findLink(a, b)
 	if l == nil {
 		panic(fmt.Sprintf("simnet: SetLinkDisabled: no link %s-%s", a, b))
 	}
 	t.disabledLinks[l] = disabled
-	t.routeCache = map[string][]string{}
+	if disabled {
+		t.invalidateLinkRoutes(l)
+	} else {
+		t.invalidateAllRoutesLocked()
+	}
 }
 
 // LinkDisabled reports the fault state of the a-b link.
@@ -259,32 +375,31 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 	}
 	key := src + "->" + dst
 	if p, ok := t.routeCache[key]; ok {
+		t.cacheHits++
 		if p == nil {
 			return nil, fmt.Errorf("simnet: no route from %s to %s", src, dst)
 		}
 		return p, nil
 	}
+	t.cacheMisses++
 	p := t.dijkstra(src, dst)
-	t.routeCache[key] = p
+	t.cacheRoute(key, p)
 	if p == nil {
 		return nil, fmt.Errorf("simnet: no route from %s to %s", src, dst)
 	}
 	return p, nil
 }
 
-// vlanUniverse returns all VLAN ids mentioned by hosts or links, plus the
-// default VLAN 0, in ascending order.
-func (t *Topology) vlanUniverse() []int {
-	set := map[int]struct{}{0: {}}
-	for _, n := range t.nodes {
-		if n.Kind == Host {
-			set[n.VLAN] = struct{}{}
-		}
-	}
-	for _, l := range t.links {
-		for _, v := range l.VLANs {
-			set[v] = struct{}{}
-		}
+// retagVLANs returns the VLAN ids a router could usefully re-tag onto
+// for a route toward the given endpoints: every VLAN pinned on some link
+// ACL plus the endpoint VLANs. Links without an ACL accept any tag, so
+// no other VLAN can ever unlock an edge — this keeps the Dijkstra state
+// space proportional to the VLANs actually in play instead of the whole
+// VLAN universe of the platform.
+func (t *Topology) retagVLANs(srcVLAN, dstVLAN int) []int {
+	set := map[int]struct{}{srcVLAN: {}, dstVLAN: {}}
+	for v := range t.explicitVLANs {
+		set[v] = struct{}{}
 	}
 	out := make([]int, 0, len(set))
 	for v := range set {
@@ -294,63 +409,95 @@ func (t *Topology) vlanUniverse() []int {
 	return out
 }
 
+// vlanKey is the Dijkstra search state: a packet's position and current
+// VLAN tag.
+type vlanKey struct {
+	node string
+	vlan int
+}
+
+type vlanState struct {
+	cost time.Duration
+	hops int
+	prev vlanKey
+	has  bool
+	done bool
+}
+
+// pqEntry is one (possibly stale) priority-queue element.
+type pqEntry struct {
+	k    vlanKey
+	cost time.Duration
+	hops int
+	seq  int
+}
+
+type routePQ []pqEntry
+
+func (q routePQ) Len() int { return len(q) }
+func (q routePQ) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	if q[i].hops != q[j].hops {
+		return q[i].hops < q[j].hops
+	}
+	return q[i].seq < q[j].seq
+}
+func (q routePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *routePQ) Push(x interface{}) { *q = append(*q, x.(pqEntry)) }
+func (q *routePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
 // dijkstra computes the minimum-latency path with hop count as
-// tie-breaker. The search state is (node, VLAN): a packet carries one VLAN
-// tag per layer-2 segment, every link must allow the current tag, and only
-// routers may re-tag traffic onto another VLAN (inter-VLAN routing).
+// tie-breaker, using a binary heap over (node, VLAN) states. A packet
+// carries one VLAN tag per layer-2 segment, every link must allow the
+// current tag, and only routers may re-tag traffic onto another VLAN
+// (inter-VLAN routing).
 func (t *Topology) dijkstra(src, dst string) []string {
 	srcNode, dstNode := t.nodes[src], t.nodes[dst]
 	if srcNode == nil || dstNode == nil {
 		return nil
 	}
-	vlans := t.vlanUniverse()
+	retag := t.retagVLANs(srcNode.VLAN, dstNode.VLAN)
 
-	type key struct {
-		node string
-		vlan int
+	states := map[vlanKey]*vlanState{{src, srcNode.VLAN}: {}}
+	goal := vlanKey{dst, dstNode.VLAN}
+	var pq routePQ
+	seq := 0
+	push := func(k vlanKey, cost time.Duration, hops int) {
+		seq++
+		heap.Push(&pq, pqEntry{k: k, cost: cost, hops: hops, seq: seq})
 	}
-	type state struct {
-		cost time.Duration
-		hops int
-		prev key
-		has  bool
-		done bool
-	}
-	states := map[key]*state{{src, srcNode.VLAN}: {}}
-	goal := key{dst, dstNode.VLAN}
-	for {
-		// Pick the cheapest unfinished state (linear scan over the
-		// deterministic node order: topologies are small).
-		var cur key
-		var curSt *state
-		for _, id := range t.order {
-			for _, v := range vlans {
-				k := key{id, v}
-				st := states[k]
-				if st == nil || st.done {
-					continue
-				}
-				if curSt == nil || st.cost < curSt.cost ||
-					(st.cost == curSt.cost && st.hops < curSt.hops) {
-					cur, curSt = k, st
-				}
-			}
-		}
-		if curSt == nil {
-			return nil
+	push(vlanKey{src, srcNode.VLAN}, 0, 0)
+	found := false
+	for pq.Len() > 0 {
+		e := heap.Pop(&pq).(pqEntry)
+		cur := e.k
+		curSt := states[cur]
+		if curSt == nil || curSt.done ||
+			e.cost > curSt.cost || (e.cost == curSt.cost && e.hops > curSt.hops) {
+			continue // stale entry superseded by a better relaxation
 		}
 		if cur == goal {
+			found = true
 			break
 		}
 		curSt.done = true
 
-		relax := func(k key, cost time.Duration, hops int) {
+		relax := func(k vlanKey, cost time.Duration, hops int) {
 			st := states[k]
 			if st != nil && st.done {
 				return
 			}
 			if st == nil || cost < st.cost || (cost == st.cost && hops < st.hops) {
-				states[k] = &state{cost: cost, hops: hops, prev: cur, has: true}
+				states[k] = &vlanState{cost: cost, hops: hops, prev: cur, has: true}
+				push(k, cost, hops)
 			}
 		}
 
@@ -359,11 +506,11 @@ func (t *Topology) dijkstra(src, dst string) []string {
 		if t.downNodes[cur.node] {
 			continue
 		}
-		// Routers re-tag traffic onto any VLAN at no cost.
+		// Routers re-tag traffic onto any useful VLAN at no cost.
 		if t.nodes[cur.node].Kind == Router {
-			for _, v := range vlans {
+			for _, v := range retag {
 				if v != cur.vlan {
-					relax(key{cur.node, v}, curSt.cost, curSt.hops)
+					relax(vlanKey{cur.node, v}, curSt.cost, curSt.hops)
 				}
 			}
 		}
@@ -388,8 +535,11 @@ func (t *Topology) dijkstra(src, dst string) []string {
 			if !l.allowsVLAN(cur.vlan) {
 				continue
 			}
-			relax(key{next, cur.vlan}, curSt.cost+lat, curSt.hops+1)
+			relax(vlanKey{next, cur.vlan}, curSt.cost+lat, curSt.hops+1)
 		}
+	}
+	if !found {
+		return nil
 	}
 	// Reconstruct, skipping zero-length re-tag steps at routers.
 	var path []string
