@@ -39,10 +39,11 @@ import (
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/gridml"
 	"nwsenv/internal/metrics"
-	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/gateway"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
+	"nwsenv/internal/query"
 	"nwsenv/internal/reconcile"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
@@ -313,7 +314,7 @@ func buildScenario(name string, seed int64, base, interval time.Duration, tp *si
 // same code path as the simulator, on the wall clock. With watch, the
 // reconcile loop maintains the deployment until the duration elapses or
 // the context is canceled (SIGINT).
-func runTCP(ctx context.Context, hosts []string, duration time.Duration, query string, watch bool, interval time.Duration, observer core.Option) {
+func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, observer core.Option) {
 	seen := map[string]bool{}
 	for i, h := range hosts {
 		h = strings.TrimSpace(h)
@@ -386,33 +387,71 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, query s
 			len(rounds), repairs, errs, len(dep.Plan.Hosts))
 	}
 
-	// Read back the freshest samples through a real client station.
+	// Read back the freshest samples through a real client station: an
+	// end user of the query plane, one batched gateway round-trip for
+	// every pair instead of a blocking fetch per series.
 	ep, err := plat.Transport().Open("nwsmanager-client")
 	check(err)
 	client := proto.NewStation(plat.Runtime(), ep)
 	defer client.Close()
-	memHost := m.Resolve[pr.Plan.MemoryOf[pr.Plan.Master]]
-	mc := memory.NewClient(client, memHost)
-	fmt.Println("  latest bandwidth readings:")
+	// The reconciled deployment's view, not the initial plan's: a -watch
+	// repair may have re-homed the name server.
+	nsHost := dep.Resolve[dep.Plan.NameServer]
+	var pairs [][2]string
+	var reqs []proto.SeriesRequest
 	for _, a := range hosts {
 		for _, b := range hosts {
 			if a == b {
 				continue
 			}
-			samples, err := mc.Fetch(sensor.BandwidthSeries(m.Resolve[a], m.Resolve[b]), 1)
-			if err != nil || len(samples) == 0 {
-				continue
-			}
-			fmt.Printf("    %-20s %8.2f Mbps (%d samples seen)\n", a+" -> "+b, samples[0].Value, len(samples))
+			pairs = append(pairs, [2]string{a, b})
+			reqs = append(reqs, proto.SeriesRequest{
+				Series: sensor.BandwidthSeries(m.Resolve[a], m.Resolve[b]), Count: 1,
+			})
 		}
 	}
-	if query != "" {
-		parts := strings.SplitN(query, ",", 2)
-		if len(parts) != 2 {
-			check(fmt.Errorf("bad -query %q", query))
+	// Prefer one batched round-trip through the gateway; a deployment
+	// momentarily without a working one (registration TTL gap after a
+	// crash, plan predating the query plane) degrades to the direct
+	// query client instead of aborting the readback. The discovered
+	// client is reused for the -query estimate below.
+	var res []query.Result
+	var gwc *gateway.Client
+	var gwName string
+	if gwReg, err := gateway.Discover(client, nsHost); err == nil {
+		gwc = gateway.NewClient(client, gwReg.Host)
+		gwName = gwReg.Name
+		if r, err := gwc.FetchMany(reqs); err == nil {
+			res = r
 		}
-		master := dep.Agents[pr.Plan.Master]
-		est, err := dep.Estimator(master.Station()).Estimate(parts[0], parts[1])
+	}
+	if res == nil {
+		res = query.New(client, nsHost).FetchMany(reqs)
+	}
+	fmt.Println("  latest bandwidth readings:")
+	for i, r := range res {
+		if r.Err != nil || len(r.Samples) == 0 {
+			continue
+		}
+		fmt.Printf("    %-20s %8.2f Mbps (%d samples seen)\n",
+			pairs[i][0]+" -> "+pairs[i][1], r.Samples[0].Value, len(r.Samples))
+	}
+	if queryPair != "" {
+		parts := strings.SplitN(queryPair, ",", 2)
+		if len(parts) != 2 {
+			check(fmt.Errorf("bad -query %q", queryPair))
+		}
+		// Reuse the gateway discovered for the readback instead of
+		// paying a second LookupKind + liveness probe.
+		var es *deploy.Estimator
+		if gwc != nil {
+			fmt.Printf("query gateway: %s (host %s)\n", gwName, gwc.Host)
+			es = deploy.NewEstimator(dep.Plan, dep.PairDataVia(gwc.FetchMany))
+		} else {
+			fmt.Println("query gateway: none registered, querying backends directly")
+			es = dep.Estimator(client)
+		}
+		est, err := es.Estimate(parts[0], parts[1])
 		check(err)
 		fmt.Printf("estimate %s -> %s: %.2f Mbps, %.2f ms RTT\n",
 			parts[0], parts[1], est.BandwidthMbps, est.LatencyMS)
@@ -515,7 +554,23 @@ func reportSim(net *simnet.Network, duration time.Duration) {
 	}
 }
 
-// querySim composes an end-to-end estimate from the running deployment.
+// gatewayEstimator locates the deployment's query gateway through the
+// directory and builds an estimator querying through it — each pair's
+// latency and bandwidth series travel in one batched V2 round-trip.
+// Deployments without a gateway (plans predating the query plane) fall
+// back to the direct query-plane client.
+func gatewayEstimator(st proto.Port, dep *deploy.Deployment) *deploy.Estimator {
+	nsHost := dep.Resolve[dep.Plan.NameServer]
+	if reg, err := gateway.Discover(st, nsHost); err == nil {
+		fmt.Printf("query gateway: %s (host %s)\n", reg.Name, reg.Host)
+		return deploy.NewEstimator(dep.Plan, dep.PairDataVia(gateway.NewClient(st, reg.Host).FetchMany))
+	}
+	fmt.Println("query gateway: none registered, querying backends directly")
+	return dep.Estimator(st)
+}
+
+// querySim composes an end-to-end estimate from the running deployment,
+// queried through the gateway.
 func querySim(sim *vclock.Sim, dep *deploy.Deployment, plan *deploy.Plan, query string, until time.Duration) {
 	parts := strings.SplitN(query, ",", 2)
 	if len(parts) != 2 {
@@ -529,7 +584,7 @@ func querySim(sim *vclock.Sim, dep *deploy.Deployment, plan *deploy.Plan, query 
 			qerr = fmt.Errorf("master agent %q missing", plan.Master)
 			return
 		}
-		es := dep.Estimator(master.Station())
+		es := gatewayEstimator(master.Station(), dep)
 		est, qerr = es.Estimate(parts[0], parts[1])
 	})
 	check(sim.RunUntil(until + time.Minute))

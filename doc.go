@@ -18,8 +18,14 @@
 // links, churning machines) by probing liveness and re-running ENV,
 // re-plans, and applies only the delta, with deterministic seeded fault
 // scenarios in internal/simnet and recovery metrics in internal/metrics
-// making every repair claim assertable. The benchmark harness in
+// making every repair claim assertable. Client traffic enters through
+// the versioned query plane: internal/query is the batching, caching
+// client facade over the NWS services, and internal/nws/gateway the
+// deployable Query Gateway role fronting it for end users (planned,
+// applied and re-homed like the name server). The benchmark harness in
 // bench_test.go regenerates every figure and quantitative claim of the
-// paper (see EXPERIMENTS.md, including the §4.3 fault-scenario table);
-// README.md holds the API quickstart and the nwsmanager -watch guide.
+// paper (see EXPERIMENTS.md, including the §4.3 fault-scenario table
+// and the query-plane throughput table); README.md holds the API
+// quickstart, the "Querying a deployment" guide and the nwsmanager
+// -watch guide.
 package nwsenv

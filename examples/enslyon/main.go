@@ -121,10 +121,11 @@ func main() {
 			fmt.Printf("  %-26s -> %-22s %7.2f Mbps (truth %6.2f) %6.2f ms  [%s]\n",
 				q[0], q[1], le.BandwidthMbps, truthBW/1e6, le.LatencyMS, mode)
 		}
-		// The §2.1 four-step forecaster flow.
-		cl := forecast.NewClient(master.Station(), out.Resolve[out.Plan.Forecaster])
+		// The §2.1 four-step forecaster flow, through the query plane
+		// (the forecaster is discovered via the directory, not wired in).
+		qc := out.Deployment.QueryClient(master.Station())
 		series := sensor.BandwidthSeries(out.Resolve["myri1.popc.private"], out.Resolve["myri2.popc.private"])
-		fc, err = cl.Forecast(series, 0)
+		fc, err = qc.Forecast(series, 0)
 	})
 	if er := sim.RunUntil(base + 7*time.Minute); er != nil {
 		log.Fatal(er)

@@ -16,11 +16,10 @@ import (
 	"time"
 
 	"nwsenv/internal/core"
-	"nwsenv/internal/nws/forecast"
-	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
+	"nwsenv/internal/query"
 )
 
 // demoProber fakes the measurements with a slowly drifting bandwidth so
@@ -84,9 +83,13 @@ func main() {
 	client := proto.NewStation(plat.Runtime(), ep)
 	defer client.Close()
 
+	// One query-plane client answers both questions: the fetch and the
+	// forecast each cost one batched V2 round-trip, with discovery
+	// (which memory server owns the series? which forecaster is up?)
+	// cached behind the facade.
+	qc := query.New(client, m.Resolve[pr.Plan.NameServer])
 	series := sensor.BandwidthSeries("alpha", "beta")
-	memHost := m.Resolve[pr.Plan.MemoryOf["alpha"]]
-	samples, err := memory.NewClient(client, memHost).Fetch(series, 5)
+	samples, err := qc.Fetch(series, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,8 +98,7 @@ func main() {
 		fmt.Printf("  t=%8v  %.2f Mbps\n", s.At.Round(time.Millisecond), s.Value)
 	}
 
-	fcHost := m.Resolve[pr.Plan.Forecaster]
-	pred, err := forecast.NewClient(client, fcHost).Forecast(series, 0)
+	pred, err := qc.Forecast(series, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -264,8 +264,8 @@ func TestCPUForecastEndToEnd(t *testing.T) {
 	var err error
 	sim.Go("cpu-query", func() {
 		master := out.Deployment.Agents[out.Plan.Master]
-		fc := forecast.NewClient(master.Station(), out.Resolve[out.Plan.Forecaster])
-		pred, err = fc.Forecast("cpu."+out.Resolve["canaria.ens-lyon.fr"], 0)
+		qc := out.Deployment.QueryClient(master.Station())
+		pred, err = qc.Forecast("cpu."+out.Resolve["canaria.ens-lyon.fr"], 0)
 	})
 	if e := sim.RunUntil(base + 6*time.Minute); e != nil {
 		t.Fatal(e)

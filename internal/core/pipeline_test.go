@@ -6,10 +6,10 @@ import (
 	"testing"
 	"time"
 
-	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
+	"nwsenv/internal/query"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
@@ -73,13 +73,12 @@ func TestTCPPlatformPipeline(t *testing.T) {
 	}
 	client := proto.NewStation(plat.Runtime(), ep)
 	defer client.Close()
-	memHost := m.Resolve[pr.Plan.MemoryOf["alpha"]]
-	mc := memory.NewClient(client, memHost)
+	qc := query.New(client, m.Resolve[pr.Plan.NameServer])
 	series := sensor.BandwidthSeries("alpha", "beta")
 	deadline := time.Now().Add(10 * time.Second)
 	var got int
 	for time.Now().Before(deadline) {
-		samples, err := mc.Fetch(series, 0)
+		samples, err := qc.Fetch(series, 0)
 		if err == nil {
 			got = len(samples)
 			if got >= 3 {

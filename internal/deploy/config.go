@@ -32,6 +32,9 @@ func (p *Plan) Summary() string {
 	fmt.Fprintf(&b, "deployment %s (master %s)\n", p.Label, p.Master)
 	fmt.Fprintf(&b, "  name server : %s\n", p.NameServer)
 	fmt.Fprintf(&b, "  forecaster  : %s\n", p.Forecaster)
+	if p.Gateway != "" {
+		fmt.Fprintf(&b, "  gateway     : %s\n", p.Gateway)
+	}
 	fmt.Fprintf(&b, "  memory      : %s\n", strings.Join(p.MemoryServers, ", "))
 	for _, c := range p.Cliques {
 		kind := "switched/bridge"

@@ -110,6 +110,9 @@ func DiffPlans(old, new *Plan) *Diff {
 	if old.Forecaster != new.Forecaster {
 		d.ServerMoves = append(d.ServerMoves, fmt.Sprintf("forecaster: %s -> %s", old.Forecaster, new.Forecaster))
 	}
+	if old.Gateway != new.Gateway {
+		d.ServerMoves = append(d.ServerMoves, fmt.Sprintf("gateway: %s -> %s", old.Gateway, new.Gateway))
+	}
 	om, nm := strings.Join(old.MemoryServers, ","), strings.Join(new.MemoryServers, ",")
 	if om != nm {
 		d.ServerMoves = append(d.ServerMoves, fmt.Sprintf("memory: [%s] -> [%s]", om, nm))

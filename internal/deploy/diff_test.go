@@ -23,6 +23,21 @@ func basePlan() *Plan {
 	}
 }
 
+// TestDiffGatewayMove: relocating the query gateway is a server move.
+func TestDiffGatewayMove(t *testing.T) {
+	old := basePlan()
+	old.Gateway = "a"
+	new := basePlan()
+	new.Gateway = "b"
+	d := DiffPlans(old, new)
+	if len(d.ServerMoves) != 1 || !strings.Contains(d.ServerMoves[0], "gateway: a -> b") {
+		t.Fatalf("server moves %v", d.ServerMoves)
+	}
+	if d.Empty() {
+		t.Fatal("gateway move reported as empty diff")
+	}
+}
+
 func TestDiffIdenticalPlans(t *testing.T) {
 	d := DiffPlans(basePlan(), basePlan())
 	if !d.Empty() {

@@ -183,8 +183,8 @@ func pruneHosts(plan *Plan, groups ...[]string) *Plan {
 // clique ordering, so it must not force rebuilds on its own.
 func roleSignature(r host.Roles) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "ns=%t mem=%t fc=%t nshost=%s memhost=%s hsp=%s|",
-		r.NameServer, r.Memory, r.Forecaster, r.NSHost, r.MemoryHost, r.HostSensorPeriod)
+	fmt.Fprintf(&b, "ns=%t mem=%t fc=%t gw=%t nshost=%s memhost=%s hsp=%s|",
+		r.NameServer, r.Memory, r.Forecaster, r.Gateway, r.NSHost, r.MemoryHost, r.HostSensorPeriod)
 	cl := append([]string(nil), cliqueKeys(r)...)
 	sort.Strings(cl)
 	for _, k := range cl {

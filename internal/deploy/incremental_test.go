@@ -254,4 +254,34 @@ func TestRoleSignatureIgnoresStartDelay(t *testing.T) {
 	if roleSignature(a) == roleSignature(c) {
 		t.Fatal("Epoch missing from the role signature")
 	}
+	// So must gaining (or losing) the query gateway.
+	g := mk(0)
+	g.Gateway = true
+	if roleSignature(a) == roleSignature(g) {
+		t.Fatal("Gateway missing from the role signature")
+	}
+}
+
+// TestApplyDeltaGatewayMove: moving the query gateway rebuilds exactly
+// the two hosts whose role assignment changed (the old and the new
+// gateway) and leaves the rest of the deployment running.
+func TestApplyDeltaGatewayMove(t *testing.T) {
+	dep, plan, resolve, tr := deployEnsLyon(t)
+	defer dep.Stop()
+
+	if plan.Gateway != plan.Master {
+		t.Fatalf("planner placed the gateway on %q, want the master %q", plan.Gateway, plan.Master)
+	}
+	next := copyPlan(plan)
+	next.Gateway = "moby.cri2000.ens-lyon.fr"
+	rep := applyDelta(t, tr, dep, next, resolve)
+	if len(rep.Diff.ServerMoves) != 1 {
+		t.Fatalf("server moves %v", rep.Diff.ServerMoves)
+	}
+	if len(rep.Restarted) != 2 {
+		t.Fatalf("a gateway move must rebuild exactly the old and new hosts, restarted %v", rep.Restarted)
+	}
+	if len(rep.Stopped)+len(rep.Started) != 0 {
+		t.Fatalf("unexpected membership changes: %s", rep)
+	}
 }

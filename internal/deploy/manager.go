@@ -6,11 +6,10 @@ import (
 	"time"
 
 	"nwsenv/internal/nws/clique"
-	"nwsenv/internal/nws/forecast"
 	"nwsenv/internal/nws/host"
-	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/query"
 )
 
 // ApplyOptions tune the deployment application.
@@ -189,6 +188,9 @@ func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs 
 		if name == plan.Forecaster {
 			roles.Forecaster = true
 		}
+		if name == plan.Gateway && plan.Gateway != "" {
+			roles.Gateway = true
+		}
 		if contains(plan.MemoryServers, name) {
 			roles.Memory = true
 		}
@@ -235,32 +237,49 @@ func (d *Deployment) Stop() {
 	}
 }
 
-// LiveData returns a PairData that reads the latest measured samples
-// from the deployment's memory servers. It must be used from a
-// simulation process; port is the station the queries are issued from
-// (e.g. the master agent's).
-func (d *Deployment) LiveData(port proto.Port) PairData {
+// QueryClient builds a query-plane client over the deployment, issuing
+// its calls through port (e.g. the master agent's station) against the
+// deployment's name server. One client should be reused across queries:
+// its discovery cache and lookup singleflight amortize the directory
+// traffic.
+func (d *Deployment) QueryClient(port proto.Port, opts ...query.Option) *query.Client {
+	return query.New(port, d.Resolve[d.Plan.NameServer], opts...)
+}
+
+// PairDataVia builds a PairData over any batched fetch function — the
+// direct query client's FetchMany or a gateway client's (whose
+// signature adds a transport error) — so every consumer shares one
+// definition of "a pair's freshest latency and bandwidth, in one
+// batched round-trip".
+func (d *Deployment) PairDataVia(fetch func([]proto.SeriesRequest) ([]query.Result, error)) PairData {
 	return func(from, to string) (float64, float64, bool) {
 		src, ok1 := d.Resolve[from]
 		dst, ok2 := d.Resolve[to]
 		if !ok1 || !ok2 {
 			return 0, 0, false
 		}
-		memHost, ok := d.Resolve[d.Plan.MemoryOf[from]]
-		if !ok {
+		res, err := fetch([]proto.SeriesRequest{
+			{Series: sensor.LatencySeries(src, dst), Count: 1},
+			{Series: sensor.BandwidthSeries(src, dst), Count: 1},
+		})
+		if err != nil || len(res) != 2 || res[0].Err != nil || res[1].Err != nil ||
+			len(res[0].Samples) == 0 || len(res[1].Samples) == 0 {
 			return 0, 0, false
 		}
-		mc := memory.NewClient(port, memHost)
-		lats, err := mc.Fetch(sensor.LatencySeries(src, dst), 1)
-		if err != nil || len(lats) == 0 {
-			return 0, 0, false
-		}
-		bws, err := mc.Fetch(sensor.BandwidthSeries(src, dst), 1)
-		if err != nil || len(bws) == 0 {
-			return 0, 0, false
-		}
-		return lats[0].Value, bws[0].Value, true
+		return res[0].Samples[0].Value, res[1].Samples[0].Value, true
 	}
+}
+
+// LiveData returns a PairData that reads the latest measured samples
+// through the query plane: both series of a pair come back in one
+// batched round-trip per memory server. It must be used from a
+// simulation process; port is the station the queries are issued from
+// (e.g. the master agent's).
+func (d *Deployment) LiveData(port proto.Port) PairData {
+	qc := d.QueryClient(port)
+	return d.PairDataVia(func(reqs []proto.SeriesRequest) ([]query.Result, error) {
+		return qc.FetchMany(reqs), nil
+	})
 }
 
 // Estimator builds a live estimator over the running deployment.
@@ -268,32 +287,29 @@ func (d *Deployment) Estimator(port proto.Port) *Estimator {
 	return NewEstimator(d.Plan, d.LiveData(port))
 }
 
-// ForecastData returns a PairData backed by the deployment's forecaster
-// instead of raw last samples: composed queries then answer "what will
-// the path look like next" — §2.1's statistical forecasts feeding §2.3's
-// aggregation. Falls back to nothing (ok=false) for series the
-// forecaster cannot predict yet.
+// ForecastData returns a PairData backed by the deployment's
+// forecasters instead of raw last samples: composed queries then answer
+// "what will the path look like next" — §2.1's statistical forecasts
+// feeding §2.3's aggregation. Both predictions of a pair travel in one
+// batched round-trip, and repeated queries hit the client's forecast
+// cache. Falls back to nothing (ok=false) for series the forecaster
+// cannot predict yet.
 func (d *Deployment) ForecastData(port proto.Port) PairData {
-	fcHost, ok := d.Resolve[d.Plan.Forecaster]
-	if !ok {
-		return func(string, string) (float64, float64, bool) { return 0, 0, false }
-	}
-	fc := forecast.NewClient(port, fcHost)
+	qc := d.QueryClient(port)
 	return func(from, to string) (float64, float64, bool) {
 		src, ok1 := d.Resolve[from]
 		dst, ok2 := d.Resolve[to]
 		if !ok1 || !ok2 {
 			return 0, 0, false
 		}
-		lat, err := fc.Forecast(sensor.LatencySeries(src, dst), 0)
-		if err != nil {
+		res := qc.ForecastMany([]proto.SeriesRequest{
+			{Series: sensor.LatencySeries(src, dst)},
+			{Series: sensor.BandwidthSeries(src, dst)},
+		})
+		if res[0].Err != nil || res[1].Err != nil {
 			return 0, 0, false
 		}
-		bw, err := fc.Forecast(sensor.BandwidthSeries(src, dst), 0)
-		if err != nil {
-			return 0, 0, false
-		}
-		return lat.Value, bw.Value, true
+		return res[0].Prediction.Value, res[1].Prediction.Value, true
 	}
 }
 

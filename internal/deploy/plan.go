@@ -49,6 +49,9 @@ type Plan struct {
 	Master     string `json:"master"`
 	NameServer string `json:"nameServer"`
 	Forecaster string `json:"forecaster"`
+	// Gateway hosts the query gateway, the deployment's client-facing
+	// front door ("" in plans predating the query plane: no gateway).
+	Gateway string `json:"gateway,omitempty"`
 	// MemoryServers lists hosts running memory servers.
 	MemoryServers []string `json:"memoryServers"`
 	// MemoryOf maps every monitored host to its memory server.
@@ -91,6 +94,7 @@ func NewPlan(m *env.Merged, cfg PlanConfig) (*Plan, error) {
 		Master:     master,
 		NameServer: master,
 		Forecaster: master,
+		Gateway:    master,
 		MemoryOf:   map[string]string{},
 		Hosts:      allHosts,
 	}

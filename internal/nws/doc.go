@@ -1,7 +1,9 @@
 // Package nws groups the Network Weather Service reproduction: the wire
-// protocol and transports (proto), the directory (nameserver), series
-// storage (memory), measurement processes (sensor), the statistical
-// forecasters (forecast), the token-ring measurement cliques (clique)
-// and the per-host agent (host). The integration test in this directory
+// protocol and transports (proto; V1 single-shot plus the V2 batch
+// query vocabulary), the directory (nameserver), series storage
+// (memory), measurement processes (sensor), the statistical forecasters
+// (forecast), the token-ring measurement cliques (clique), the per-host
+// agent (host), and the deployable query gateway fronting the query
+// plane for end users (gateway). The integration test in this directory
 // runs the full stack over real loopback TCP sockets.
 package nws

@@ -1,0 +1,236 @@
+// Package gateway implements the NWS Query Gateway: a deployable role
+// that fronts the versioned query plane for end users. Clients talk to
+// one well-known address with the V2 batch vocabulary; the gateway
+// resolves, batches and fans out across the memory servers and
+// forecasters behind it through an embedded query.Client, so its
+// discovery cache, lookup singleflight and forecast cache are shared by
+// every user of the deployment instead of rebuilt per client process.
+//
+// The gateway is planned and deployed like the name server and the
+// forecaster (it runs on the master by default), registers under kind
+// "gateway" so clients can discover it, and is re-homed by the
+// reconcile control plane when its host dies.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/query"
+)
+
+// maxConcurrentRequests bounds the requests a gateway serves at once:
+// admission control, so a traffic burst queues in the station's inbox
+// (message-sized memory) instead of spawning an unbounded process per
+// request. Each admitted request still fans out through the embedded
+// client's own bounded worker pool.
+const maxConcurrentRequests = 64
+
+// Server is a running query gateway.
+type Server struct {
+	st  proto.Port
+	ns  *nameserver.Client
+	qc  *query.Client
+	sem proto.Inbox // admission tokens, maxConcurrentRequests deep
+}
+
+// New creates a gateway on st, querying the deployment through the name
+// server on nsHost. Query-plane tuning (cache TTLs, worker bound) is
+// passed through to the embedded query.Client.
+func New(st proto.Port, nsHost string, opts ...query.Option) *Server {
+	s := &Server{
+		st: st,
+		ns: nameserver.NewClient(st, nsHost),
+		qc: query.New(st, nsHost, opts...),
+	}
+	s.sem = st.Runtime().NewInbox("gateway-sem:" + st.Host())
+	for i := 0; i < maxConcurrentRequests; i++ {
+		s.sem.Send(proto.Message{})
+	}
+	return s
+}
+
+// Name returns the gateway's directory name.
+func (s *Server) Name() string { return "gateway." + s.st.Host() }
+
+// Run serves query requests until the station closes. Each request is
+// answered on its own runtime process, so slow backends stall only
+// their request while the gateway keeps accepting traffic.
+func (s *Server) Run() {
+	reg := proto.Registration{Name: s.Name(), Kind: "gateway", Host: s.st.Host()}
+	s.ns.Register(reg)
+	s.st.Runtime().Go("gateway-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg) })
+	for {
+		req, ok := s.st.Recv()
+		if !ok {
+			return
+		}
+		switch req.Type {
+		case proto.MsgQueryFetch:
+			s.admit(req, "gateway-fetch:"+s.st.Host(), s.handleFetch)
+		case proto.MsgQueryForecast:
+			s.admit(req, "gateway-forecast:"+s.st.Host(), s.handleForecast)
+		case proto.MsgPing:
+			s.st.Reply(req, proto.Message{Type: proto.MsgPong})
+		default:
+			s.st.ReplyError(req, "gateway: unexpected %v", req.Type)
+		}
+	}
+}
+
+// admit takes an admission token (blocking the accept loop — and so
+// queueing traffic in the station inbox — when maxConcurrentRequests
+// are already in flight) and serves the request on its own runtime
+// process, returning the token when done.
+func (s *Server) admit(req proto.Message, name string, handle func(proto.Message)) {
+	if _, ok := s.sem.Recv(); !ok {
+		return
+	}
+	s.st.Runtime().Go(name, func() {
+		defer s.sem.Send(proto.Message{})
+		handle(req)
+	})
+}
+
+func (s *Server) handleFetch(req proto.Message) {
+	if req.Version > proto.V2 {
+		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+		return
+	}
+	res := s.qc.FetchMany(req.Queries)
+	out := make([]proto.SeriesResult, len(res))
+	for i, r := range res {
+		out[i] = proto.SeriesResult{Series: r.Series, Samples: r.Samples}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+			out[i].Code = query.ErrCode(r.Err)
+		}
+	}
+	s.st.Reply(req, proto.Message{Type: proto.MsgQueryFetchReply, Version: proto.V2, Results: out})
+}
+
+func (s *Server) handleForecast(req proto.Message) {
+	if req.Version > proto.V2 {
+		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+		return
+	}
+	res := s.qc.ForecastMany(req.Queries)
+	out := make([]proto.ForecastResult, len(res))
+	for i, r := range res {
+		out[i] = proto.ForecastResult{
+			Series: r.Series, Value: r.Prediction.Value, MAE: r.Prediction.MAE,
+			MSE: r.Prediction.MSE, Method: r.Prediction.Method, Count: r.Prediction.N,
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+			out[i].Code = query.ErrCode(r.Err)
+		}
+	}
+	s.st.Reply(req, proto.Message{Type: proto.MsgQueryForecastReply, Version: proto.V2, Forecasts: out})
+}
+
+// Client is an end user's handle on a deployment's query gateway.
+type Client struct {
+	St      proto.Port
+	Host    string // gateway host
+	Timeout time.Duration
+}
+
+// NewClient returns a client for the gateway on host.
+func NewClient(st proto.Port, host string) *Client {
+	return &Client{St: st, Host: host, Timeout: 10 * time.Second}
+}
+
+// discoverProbeTimeout bounds the per-candidate liveness probe during
+// discovery: long enough for a WAN round-trip, short enough that a
+// stale entry does not stall discovery for the full call timeout.
+const discoverProbeTimeout = 5 * time.Second
+
+// Discover finds a deployment's gateway through its name server. The
+// directory can hold stale entries for up to the registration TTL after
+// a planned gateway move (the old agent rebuilds without the role but
+// its entry lives on), so each candidate — in deterministic LookupKind
+// order, concurrent clients agree — is probed with an empty batch and
+// the first one actually serving the role wins.
+func Discover(st proto.Port, nsHost string) (proto.Registration, error) {
+	regs, err := nameserver.NewClient(st, nsHost).LookupKind("gateway", "")
+	if err != nil {
+		return proto.Registration{}, err
+	}
+	if len(regs) == 0 {
+		return proto.Registration{}, errors.New("gateway: none registered")
+	}
+	for _, reg := range regs {
+		_, err := st.Call(reg.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V2}, discoverProbeTimeout)
+		if err == nil {
+			return reg, nil
+		}
+	}
+	return proto.Registration{}, fmt.Errorf("gateway: none of %d registered gateway(s) answering", len(regs))
+}
+
+// FetchMany answers every requested series in one round-trip to the
+// gateway. Per-series failures carry the query plane's structured
+// errors (errors.Is ErrSeriesUnknown / ErrBackendDown works across the
+// wire).
+func (c *Client) FetchMany(reqs []proto.SeriesRequest) ([]query.Result, error) {
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V2, Queries: reqs}, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Results) != len(reqs) {
+		return nil, fmt.Errorf("gateway %s: short batch reply: %d results for %d queries", c.Host, len(reply.Results), len(reqs))
+	}
+	out := make([]query.Result, len(reply.Results))
+	for i, r := range reply.Results {
+		out[i] = query.Result{Series: r.Series, Samples: r.Samples, Err: wireError(r.Code, r.Error)}
+	}
+	return out, nil
+}
+
+// Fetch is the single-series convenience over FetchMany.
+func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
+	res, err := c.FetchMany([]proto.SeriesRequest{{Series: series, Count: n}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Samples, res[0].Err
+}
+
+// ForecastMany predicts every requested series in one round-trip to the
+// gateway. Like FetchMany, per-series failures carry the structured
+// query errors rehydrated from the wire.
+func (c *Client) ForecastMany(reqs []proto.SeriesRequest) ([]query.ForecastResult, error) {
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgQueryForecast, Version: proto.V2, Queries: reqs}, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Forecasts) != len(reqs) {
+		return nil, fmt.Errorf("gateway %s: short batch reply: %d forecasts for %d queries", c.Host, len(reply.Forecasts), len(reqs))
+	}
+	out := make([]query.ForecastResult, len(reply.Forecasts))
+	for i, f := range reply.Forecasts {
+		out[i] = query.ForecastResult{
+			Series: f.Series,
+			Prediction: forecast.Prediction{
+				Value: f.Value, MAE: f.MAE, MSE: f.MSE, Method: f.Method, N: f.Count,
+			},
+			Err: wireError(f.Code, f.Error),
+		}
+	}
+	return out, nil
+}
+
+// wireError rehydrates a gateway-serialized query error from its typed
+// code, so errors.Is keeps working across the wire without anyone
+// depending on message wording.
+func wireError(code, msg string) error {
+	if msg == "" {
+		return nil
+	}
+	return query.CodedError(code, "via gateway: "+msg)
+}

@@ -1,0 +1,220 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/query"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+// rig builds a serving stack with a gateway fronting it: name server,
+// two memory servers, a forecaster, the gateway, and an end-user client
+// station.
+type rig struct {
+	sim *vclock.Sim
+	tr  *proto.SimTransport
+	st  *proto.Station // end-user station on host "user"
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	topo := simnet.NewTopology()
+	hosts := []string{"ns", "m1", "m2", "fc", "gw", "user"}
+	for i, h := range hosts {
+		topo.AddHost(h, fmt.Sprintf("10.1.0.%d", i+1), h, "lan")
+	}
+	topo.AddSwitch("sw")
+	for _, h := range hosts {
+		topo.Connect(h, "sw")
+	}
+	sim := vclock.New()
+	tr := proto.NewSimTransport(simnet.NewNetwork(sim, topo))
+	rt := tr.Runtime()
+	open := func(h string) *proto.Station {
+		ep, err := tr.Open(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto.NewStation(rt, ep)
+	}
+	stNS := open("ns")
+	sim.Go("ns", nameserver.New(stNS).Run)
+	for _, m := range []string{"m1", "m2"} {
+		st := open(m)
+		sim.Go(m, memory.New(st, nameserver.NewClient(st, "ns")).Run)
+	}
+	stFC := open("fc")
+	sim.Go("fc", forecast.NewServer(stFC, nameserver.NewClient(stFC, "ns"), 0).Run)
+	stGW := open("gw")
+	sim.Go("gw", New(stGW, "ns").Run)
+	return &rig{sim: sim, tr: tr, st: open("user")}
+}
+
+func (r *rig) run(t *testing.T, fn func()) {
+	t.Helper()
+	done := false
+	r.sim.Go("test", func() { fn(); done = true })
+	deadline := r.sim.Now() + time.Hour
+	for at := r.sim.Now() + time.Second; !done && at <= deadline; at += time.Second {
+		if err := r.sim.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done {
+		t.Fatal("test process did not finish")
+	}
+}
+
+func (r *rig) seed(t *testing.T) {
+	t.Helper()
+	r.run(t, func() {
+		c1 := memory.NewClient(r.st, "m1")
+		c2 := memory.NewClient(r.st, "m2")
+		for i := 1; i <= 10; i++ {
+			s := proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)}
+			c1.Store("x", s)
+			c2.Store("y", s)
+		}
+	})
+}
+
+// TestGatewayEndToEnd: an end user discovers the gateway through the
+// directory and gets batched fetches and forecasts spanning both memory
+// servers in one round-trip each, with structured errors surviving the
+// wire.
+func TestGatewayEndToEnd(t *testing.T) {
+	r := newRig(t)
+	r.seed(t)
+	r.run(t, func() {
+		reg, err := Discover(r.st, "ns")
+		if err != nil {
+			t.Errorf("discover: %v", err)
+			return
+		}
+		if reg.Host != "gw" || reg.Name != "gateway.gw" {
+			t.Errorf("discovered %+v", reg)
+		}
+		gc := NewClient(r.st, reg.Host)
+		res, err := gc.FetchMany([]proto.SeriesRequest{
+			{Series: "x", Count: 1}, {Series: "y", Count: 0}, {Series: "ghost", Count: 1},
+		})
+		if err != nil {
+			t.Errorf("fetch many: %v", err)
+			return
+		}
+		if res[0].Err != nil || len(res[0].Samples) != 1 || res[0].Samples[0].Value != 10 {
+			t.Errorf("x: %+v err %v", res[0].Samples, res[0].Err)
+		}
+		if res[1].Err != nil || len(res[1].Samples) != 10 {
+			t.Errorf("y full window: %d samples err %v", len(res[1].Samples), res[1].Err)
+		}
+		if !errors.Is(res[2].Err, query.ErrSeriesUnknown) {
+			t.Errorf("ghost: %v", res[2].Err)
+		}
+
+		fres, err := gc.ForecastMany([]proto.SeriesRequest{{Series: "x"}, {Series: "y"}, {Series: "ghost"}})
+		if err != nil {
+			t.Errorf("forecast many: %v", err)
+			return
+		}
+		for _, f := range fres[:2] {
+			if f.Err != nil || f.Prediction.Method == "" {
+				t.Errorf("forecast %s: %+v err %v", f.Series, f.Prediction, f.Err)
+			}
+		}
+		if !errors.Is(fres[2].Err, query.ErrSeriesUnknown) {
+			t.Errorf("ghost forecast: %v", fres[2].Err)
+		}
+
+		// Single-series convenience.
+		if got, err := gc.Fetch("x", 2); err != nil || len(got) != 2 {
+			t.Errorf("single fetch: %+v err %v", got, err)
+		}
+	})
+}
+
+// TestDiscoverSkipsStaleRegistration: after a planned gateway move the
+// old host's directory entry lives until its TTL; Discover must probe
+// past it (the old host answers queries with "no role") and settle on
+// the candidate actually serving the role, even when the stale name
+// sorts first.
+func TestDiscoverSkipsStaleRegistration(t *testing.T) {
+	r := newRig(t)
+	r.seed(t)
+	r.run(t, func() {
+		// "gateway.a-stale" sorts before "gateway.gw" but points at m1,
+		// which runs a memory server and rejects query-plane messages.
+		nsc := nameserver.NewClient(r.st, "ns")
+		if err := nsc.Register(proto.Registration{Name: "gateway.a-stale", Kind: "gateway", Host: "m1"}); err != nil {
+			t.Error(err)
+			return
+		}
+		reg, err := Discover(r.st, "ns")
+		if err != nil {
+			t.Errorf("discover: %v", err)
+			return
+		}
+		if reg.Host != "gw" {
+			t.Errorf("discovered %s, want the live gateway on gw", reg.Host)
+		}
+	})
+}
+
+// TestGatewayPipelinesConcurrentClients: many users query at once; each
+// request is served on its own process, so none starves.
+func TestGatewayPipelinesConcurrentClients(t *testing.T) {
+	r := newRig(t)
+	r.seed(t)
+	r.run(t, func() {
+		gc := NewClient(r.st, "gw")
+		done := r.st.Runtime().NewInbox("collect")
+		const users = 10
+		for i := 0; i < users; i++ {
+			r.st.Runtime().Go(fmt.Sprintf("user%d", i), func() {
+				res, err := gc.FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}, {Series: "y", Count: 1}})
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+				} else if res[0].Err != nil || res[1].Err != nil {
+					t.Errorf("results: %v %v", res[0].Err, res[1].Err)
+				}
+				done.Send(proto.Message{})
+			})
+		}
+		for i := 0; i < users; i++ {
+			done.Recv()
+		}
+	})
+}
+
+// TestGatewayBackendDownSurfacesStructured: a dead memory server shows
+// up as ErrBackendDown through the gateway, while healthy series keep
+// answering.
+func TestGatewayBackendDownSurfacesStructured(t *testing.T) {
+	r := newRig(t)
+	r.seed(t)
+	r.run(t, func() {
+		gc := NewClient(r.st, "gw")
+		gc.Timeout = 30 * time.Second
+		gc.FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}, {Series: "y", Count: 1}})
+		r.tr.SetDown("m2", true)
+		res, err := gc.FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}, {Series: "y", Count: 1}})
+		if err != nil {
+			t.Errorf("fetch many: %v", err)
+			return
+		}
+		if res[0].Err != nil {
+			t.Errorf("healthy series failed: %v", res[0].Err)
+		}
+		if !errors.Is(res[1].Err, query.ErrBackendDown) {
+			t.Errorf("dead backend: %v", res[1].Err)
+		}
+	})
+}

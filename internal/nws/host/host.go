@@ -15,6 +15,7 @@ import (
 
 	"nwsenv/internal/nws/clique"
 	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/gateway"
 	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/proto"
@@ -42,6 +43,9 @@ type Roles struct {
 	Forecaster bool
 	// ForecastHistory bounds samples fetched per forecast.
 	ForecastHistory int
+	// Gateway runs the query gateway here: the deployment's front door
+	// for end-user queries (requires NSHost).
+	Gateway bool
 
 	// NSHost names the host running the name server (required unless
 	// NameServer is set and self-referencing).
@@ -78,6 +82,7 @@ const (
 	keyNS       = "ns"
 	keyMemory   = "memory"
 	keyForecast = "forecast"
+	keyGateway  = "gateway"
 )
 
 // NewAgent opens the host endpoint on tr and prepares (but does not
@@ -165,6 +170,10 @@ func (a *Agent) Start() {
 		srv := forecast.NewServer(a.port(keyForecast), nsc, a.roles.ForecastHistory)
 		a.rt.Go("forecaster:"+hostName, srv.Run)
 	}
+	if a.roles.Gateway && a.roles.NSHost != "" {
+		srv := gateway.New(a.port(keyGateway), a.roles.NSHost)
+		a.rt.Go("gateway:"+hostName, srv.Run)
+	}
 	store := a.storeFn()
 	for _, cfg := range a.roles.Cliques {
 		cfg := cfg
@@ -229,10 +238,12 @@ func (a *Agent) dispatch() {
 		switch msg.Type {
 		case proto.MsgRegister, proto.MsgUnregister, proto.MsgLookup:
 			key = keyNS
-		case proto.MsgStore, proto.MsgFetch:
+		case proto.MsgStore, proto.MsgFetch, proto.MsgBatchFetch:
 			key = keyMemory
-		case proto.MsgForecast:
+		case proto.MsgForecast, proto.MsgBatchForecast:
 			key = keyForecast
+		case proto.MsgQueryFetch, proto.MsgQueryForecast:
+			key = keyGateway
 		case proto.MsgToken, proto.MsgTokenAck, proto.MsgElection, proto.MsgElectionOK, proto.MsgCoordinator:
 			key = "clique:" + msg.Clique
 		case proto.MsgProbeCmd:

@@ -5,6 +5,7 @@ package memory
 
 import (
 	"encoding/gob"
+	"errors"
 	"io"
 	"sync"
 	"time"
@@ -21,6 +22,9 @@ type Server struct {
 	st        proto.Port
 	ns        *nameserver.Client
 	retention int
+	// retentionSet records an explicit WithRetention: Restore then keeps
+	// the configured cap instead of adopting the persisted one.
+	retentionSet bool
 
 	mu     sync.Mutex
 	series map[string][]proto.Sample
@@ -37,6 +41,7 @@ func WithRetention(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
 			s.retention = n
+			s.retentionSet = true
 		}
 	}
 }
@@ -79,6 +84,8 @@ func (s *Server) Run() {
 			s.handleStore(req)
 		case proto.MsgFetch:
 			s.handleFetch(req)
+		case proto.MsgBatchFetch:
+			s.handleBatchFetch(req)
 		case proto.MsgPing:
 			s.st.Reply(req, proto.Message{Type: proto.MsgPong})
 		default:
@@ -88,12 +95,17 @@ func (s *Server) Run() {
 }
 
 // refreshLoop re-registers the server and its series at a third of the
-// directory TTL, stopping when the station closes.
+// directory TTL, stopping when the station closes. Transient refresh
+// failures retry on the next tick (see nameserver.Client.KeepRegistered
+// for the rationale).
 func (s *Server) refreshLoop() {
 	for {
 		s.st.Runtime().Sleep(nameserver.DefaultTTL / 3)
 		if err := s.ns.Register(proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()}); err != nil {
-			return
+			if errors.Is(err, proto.ErrClosed) {
+				return
+			}
+			continue
 		}
 		s.mu.Lock()
 		names := make([]string, 0, len(s.registered))
@@ -141,17 +153,39 @@ func (s *Server) isRegistered(series string) bool {
 	return s.registered[series]
 }
 
-func (s *Server) handleFetch(req proto.Message) {
-	s.mu.Lock()
-	buf := s.series[req.Series]
-	n := req.Count
+// lastN copies the newest n samples of buf (all of them when n <= 0 or
+// n exceeds the retained window). Callers hold s.mu.
+func lastN(buf []proto.Sample, n int) []proto.Sample {
 	if n <= 0 || n > len(buf) {
 		n = len(buf)
 	}
 	out := make([]proto.Sample, n)
 	copy(out, buf[len(buf)-n:])
+	return out
+}
+
+func (s *Server) handleFetch(req proto.Message) {
+	s.mu.Lock()
+	out := lastN(s.series[req.Series], req.Count)
 	s.mu.Unlock()
 	s.st.Reply(req, proto.Message{Type: proto.MsgFetchReply, Series: req.Series, Samples: out})
+}
+
+// handleBatchFetch answers a V2 batch fetch: every requested series in
+// one round-trip. Unknown series come back empty (like single Fetch);
+// results keep the request order.
+func (s *Server) handleBatchFetch(req proto.Message) {
+	if req.Version > proto.V2 {
+		s.st.ReplyError(req, "memory: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+		return
+	}
+	results := make([]proto.SeriesResult, len(req.Queries))
+	s.mu.Lock()
+	for i, q := range req.Queries {
+		results[i] = proto.SeriesResult{Series: q.Series, Samples: lastN(s.series[q.Series], q.Count)}
+	}
+	s.mu.Unlock()
+	s.st.Reply(req, proto.Message{Type: proto.MsgBatchFetchReply, Version: proto.V2, Results: results})
 }
 
 // SeriesNames lists stored series (for tests and tools).
@@ -171,23 +205,39 @@ type persistedState struct {
 	Series    map[string][]proto.Sample
 }
 
-// WriteTo persists the stored series (gob) — the "on disk" half of the
+// Persist writes the stored series (gob) — the "on disk" half of the
 // paper's memory server.
 func (s *Server) Persist(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(persistedState{Retention: s.retention, Series: s.series})
+	s.mu.Lock()
+	st := persistedState{Retention: s.retention, Series: map[string][]proto.Sample{}}
+	for name, buf := range s.series {
+		st.Series[name] = append([]proto.Sample(nil), buf...)
+	}
+	s.mu.Unlock()
+	return gob.NewEncoder(w).Encode(st)
 }
 
-// ReadFrom restores series persisted by Persist, replacing current
-// contents.
+// Restore replaces the server's contents with series persisted by
+// Persist. A server explicitly configured with WithRetention keeps its
+// configured cap and truncates each restored series to its newest
+// samples; otherwise the persisted retention is adopted. Either way no
+// series ever exceeds the effective cap after Restore.
 func (s *Server) Restore(r io.Reader) error {
 	var st persistedState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return err
 	}
-	s.retention = st.Retention
-	s.series = st.Series
-	if s.series == nil {
-		s.series = map[string][]proto.Sample{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.retentionSet && st.Retention > 0 {
+		s.retention = st.Retention
+	}
+	s.series = map[string][]proto.Sample{}
+	for name, buf := range st.Series {
+		if over := len(buf) - s.retention; over > 0 {
+			buf = buf[over:]
+		}
+		s.series[name] = append([]proto.Sample(nil), buf...)
 	}
 	return nil
 }
@@ -210,11 +260,24 @@ func (c *Client) Store(series string, samples ...proto.Sample) error {
 	return err
 }
 
-// Fetch returns the last n samples of a series (all if n <= 0).
+// Fetch returns the newest n samples of a series. n <= 0 returns the
+// full retained window (every sample the server still holds under its
+// retention cap); n larger than the window is clamped to it. An unknown
+// series is not an error: it returns an empty slice.
 func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
 	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgFetch, Series: series, Count: n}, c.Timeout)
 	if err != nil {
 		return nil, err
 	}
 	return reply.Samples, nil
+}
+
+// BatchFetch returns many series in one round-trip (V2). Results keep
+// the request order; per-series Count semantics match Fetch.
+func (c *Client) BatchFetch(reqs []proto.SeriesRequest) ([]proto.SeriesResult, error) {
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgBatchFetch, Version: proto.V2, Queries: reqs}, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Results, nil
 }

@@ -2,6 +2,7 @@ package memory
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 	"time"
 
@@ -106,6 +107,64 @@ func TestRetentionCap(t *testing.T) {
 	})
 }
 
+// TestFetchNonPositiveN pins the documented n <= 0 contract: zero and
+// negative counts both return the full retained window, and a count
+// larger than the window clamps to it.
+func TestFetchNonPositiveN(t *testing.T) {
+	r := rig(t, false) // retention 5
+	r.run(t, func(c *Client) {
+		for i := 1; i <= 8; i++ {
+			c.Store("s", proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)})
+		}
+		for _, n := range []int{0, -1, -100} {
+			got, err := c.Fetch("s", n)
+			if err != nil {
+				t.Errorf("n=%d: %v", n, err)
+				continue
+			}
+			if len(got) != 5 || got[0].Value != 4 || got[4].Value != 8 {
+				t.Errorf("n=%d: got %+v, want the full 5-sample retained window", n, got)
+			}
+		}
+		// n beyond the window clamps instead of erroring.
+		if got, _ := c.Fetch("s", 99); len(got) != 5 {
+			t.Errorf("n=99: got %d samples, want 5", len(got))
+		}
+	})
+}
+
+// TestBatchFetchMatchesSingle: the V2 batch answers exactly what the
+// single-shot path would, per series, in request order.
+func TestBatchFetchMatchesSingle(t *testing.T) {
+	r := rig(t, false)
+	r.run(t, func(c *Client) {
+		for i := 1; i <= 4; i++ {
+			c.Store("p", proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)})
+			c.Store("q", proto.Sample{At: time.Duration(i) * time.Second, Value: float64(10 * i)})
+		}
+		res, err := c.BatchFetch([]proto.SeriesRequest{
+			{Series: "q", Count: 2}, {Series: "p", Count: 0}, {Series: "none", Count: 1},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(res) != 3 || res[0].Series != "q" || res[1].Series != "p" {
+			t.Errorf("results out of order: %+v", res)
+			return
+		}
+		if len(res[0].Samples) != 2 || res[0].Samples[1].Value != 40 {
+			t.Errorf("q: %+v", res[0].Samples)
+		}
+		if len(res[1].Samples) != 4 {
+			t.Errorf("p full window: %+v", res[1].Samples)
+		}
+		if len(res[2].Samples) != 0 || res[2].Error != "" {
+			t.Errorf("unknown series in batch: %+v", res[2])
+		}
+	})
+}
+
 func TestFetchUnknownSeriesEmpty(t *testing.T) {
 	r := rig(t, false)
 	r.run(t, func(c *Client) {
@@ -162,6 +221,68 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	names := fresh.SeriesNames()
 	if len(names) != 2 {
 		t.Fatalf("restored series %v", names)
+	}
+}
+
+// TestPersistRestoreUnderRetention: the round-trip through Persist/
+// Restore respects retention on both sides. An unconfigured restoring
+// server adopts the persisted cap; an explicitly configured one keeps
+// its own and truncates each series to its newest samples.
+func TestPersistRestoreUnderRetention(t *testing.T) {
+	r := rig(t, false) // server configured WithRetention(5)
+	r.run(t, func(c *Client) {
+		for i := 1; i <= 9; i++ {
+			c.Store("s", proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)})
+		}
+	})
+	var buf bytes.Buffer
+	if err := r.srv.Persist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	// Unconfigured server: adopts the persisted retention (5) and the
+	// retained window verbatim.
+	fresh := New(nil2(), nil)
+	if err := fresh.Restore(bytes.NewReader(img)); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.retention != 5 {
+		t.Fatalf("adopted retention %d, want 5", fresh.retention)
+	}
+	if got := fresh.series["s"]; len(got) != 5 || got[0].Value != 5 || got[4].Value != 9 {
+		t.Fatalf("restored window %+v", got)
+	}
+
+	// Explicitly configured server: keeps its smaller cap and truncates
+	// the restored series (more samples than the cap) to the newest.
+	small := New(nil2(), nil, WithRetention(3))
+	if err := small.Restore(bytes.NewReader(img)); err != nil {
+		t.Fatal(err)
+	}
+	if small.retention != 3 {
+		t.Fatalf("configured retention overwritten: %d", small.retention)
+	}
+	if got := small.series["s"]; len(got) != 3 || got[0].Value != 7 || got[2].Value != 9 {
+		t.Fatalf("truncated window %+v, want the newest 3", got)
+	}
+
+	// A corrupt/hand-edited image whose series exceed its own declared
+	// retention is re-capped on the way in.
+	var overfull bytes.Buffer
+	st := persistedState{Retention: 2, Series: map[string][]proto.Sample{}}
+	for i := 1; i <= 6; i++ {
+		st.Series["x"] = append(st.Series["x"], proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)})
+	}
+	if err := gob.NewEncoder(&overfull).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	capped := New(nil2(), nil)
+	if err := capped.Restore(&overfull); err != nil {
+		t.Fatal(err)
+	}
+	if got := capped.series["x"]; len(got) != 2 || got[0].Value != 5 || got[1].Value != 6 {
+		t.Fatalf("overfull image not re-capped: %+v", got)
 	}
 }
 

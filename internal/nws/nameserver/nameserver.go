@@ -5,6 +5,8 @@
 package nameserver
 
 import (
+	"errors"
+	"sort"
 	"strings"
 	"time"
 
@@ -79,7 +81,7 @@ func (s *Server) handleLookup(req proto.Message) {
 		for n := range s.entries {
 			names = append(names, n)
 		}
-		sortStrings(names)
+		sort.Strings(names)
 		for _, n := range names {
 			e := s.entries[n]
 			if e.Expires <= now {
@@ -96,14 +98,6 @@ func (s *Server) handleLookup(req proto.Message) {
 		}
 	}
 	s.st.Reply(req, proto.Message{Type: proto.MsgLookupReply, Regs: out})
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Client wraps the directory operations every NWS process needs.
@@ -125,6 +119,21 @@ func (c *Client) Register(reg proto.Registration) error {
 	return err
 }
 
+// KeepRegistered re-registers reg at a third of the directory TTL until
+// the station is torn down. Transient failures (a timed-out refresh
+// over a degraded link) are retried on the next tick — one lost refresh
+// must not silently drop a live server from the directory forever —
+// while a closed station ends the loop. Long-lived servers run it on
+// its own runtime process so their directory entry outlives the TTL.
+func (c *Client) KeepRegistered(reg proto.Registration) {
+	for {
+		c.St.Runtime().Sleep(DefaultTTL / 3)
+		if err := c.Register(reg); errors.Is(err, proto.ErrClosed) {
+			return
+		}
+	}
+}
+
 // Unregister removes an entry by name.
 func (c *Client) Unregister(name string) error {
 	_, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgUnregister, Name: name}, c.Timeout)
@@ -143,11 +152,16 @@ func (c *Client) LookupName(name string) (proto.Registration, bool, error) {
 	return reply.Regs[0], true, nil
 }
 
-// LookupKind lists entries of a kind, optionally filtered by name prefix.
+// LookupKind lists entries of a kind, optionally filtered by name
+// prefix. The result is deterministically sorted by name regardless of
+// the server's iteration order, so discovery caches and CLI output stay
+// stable across runs and server implementations.
 func (c *Client) LookupKind(kind, prefix string) ([]proto.Registration, error) {
 	reply, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgLookup, Kind: kind, Series: prefix}, c.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	return reply.Regs, nil
+	regs := reply.Regs
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs, nil
 }

@@ -98,6 +98,46 @@ func TestLookupByKindSorted(t *testing.T) {
 	})
 }
 
+// TestLookupKindClientSorts: LookupKind is deterministically sorted by
+// the client itself, independent of the server's reply order — the
+// discovery cache and CLI output must not depend on a particular server
+// implementation iterating its entries in order.
+func TestLookupKindClientSorts(t *testing.T) {
+	sim, st1, st2 := rig(t)
+	// A directory impostor on h2 that answers lookups in reverse order.
+	sim.Go("unsorted-ns", func() {
+		for {
+			req, ok := st2.Recv()
+			if !ok {
+				return
+			}
+			st2.Reply(req, proto.Message{Type: proto.MsgLookupReply, Regs: []proto.Registration{
+				{Name: "gateway.zeta", Kind: "gateway", Host: "zeta"},
+				{Name: "gateway.mu", Kind: "gateway", Host: "mu"},
+				{Name: "gateway.alpha", Kind: "gateway", Host: "alpha"},
+			}})
+		}
+	})
+	run(t, sim, func() {
+		c := NewClient(st1, "h2")
+		regs, err := c.LookupKind("gateway", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := []string{"gateway.alpha", "gateway.mu", "gateway.zeta"}
+		if len(regs) != 3 {
+			t.Errorf("regs %+v", regs)
+			return
+		}
+		for i, w := range want {
+			if regs[i].Name != w {
+				t.Errorf("regs[%d] = %s, want %s (client must sort)", i, regs[i].Name, w)
+			}
+		}
+	})
+}
+
 func TestLookupByPrefix(t *testing.T) {
 	sim, st1, _ := rig(t)
 	run(t, sim, func() {

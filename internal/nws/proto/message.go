@@ -45,6 +45,18 @@ const (
 	// Liveness.
 	MsgPing
 	MsgPong
+
+	// Versioned query plane (V2). Batch messages answer many series in
+	// one round-trip; Query* are the gateway's client-facing forms.
+	// New types append here so old wire values stay stable.
+	MsgBatchFetch
+	MsgBatchFetchReply
+	MsgBatchForecast
+	MsgBatchForecastReply
+	MsgQueryFetch
+	MsgQueryFetchReply
+	MsgQueryForecast
+	MsgQueryForecastReply
 )
 
 var msgNames = map[MsgType]string{
@@ -59,6 +71,10 @@ var msgNames = map[MsgType]string{
 	MsgCoordinator: "Coordinator",
 	MsgProbeCmd:    "ProbeCmd", MsgProbeDone: "ProbeDone",
 	MsgPing: "Ping", MsgPong: "Pong",
+	MsgBatchFetch: "BatchFetch", MsgBatchFetchReply: "BatchFetchReply",
+	MsgBatchForecast: "BatchForecast", MsgBatchForecastReply: "BatchForecastReply",
+	MsgQueryFetch: "QueryFetch", MsgQueryFetchReply: "QueryFetchReply",
+	MsgQueryForecast: "QueryForecast", MsgQueryForecastReply: "QueryForecastReply",
 }
 
 func (t MsgType) String() string {
@@ -84,11 +100,62 @@ type Sample struct {
 	Value float64
 }
 
+// Protocol versions. Version 1 is the original single-shot vocabulary;
+// version 2 adds the batch query plane (BatchFetch/BatchForecast and
+// the gateway's Query* forms). A zero Version on the wire means V1:
+// old clients keep working unchanged.
+const (
+	V1 = 1
+	// V2 is the current query-plane version.
+	V2 = 2
+)
+
+// Per-series error codes carried inside batch results, so structured
+// errors survive serialization without clients sniffing message text.
+const (
+	// CodeUnknownSeries: the directory has no entry for the series.
+	CodeUnknownSeries = "unknown_series"
+	// CodeBackendDown: a backend behind the answering server (name
+	// server, memory server) did not answer.
+	CodeBackendDown = "backend_down"
+)
+
+// SeriesRequest names one series inside a batch query. Count bounds the
+// samples returned (<= 0: the full retained window).
+type SeriesRequest struct {
+	Series string
+	Count  int
+}
+
+// SeriesResult is one series' answer inside a batch fetch reply. Error
+// is non-empty when this series (and only this series) failed; Code
+// classifies the failure (one of the Code* constants, or "" for other
+// failures).
+type SeriesResult struct {
+	Series  string
+	Samples []Sample
+	Error   string
+	Code    string
+}
+
+// ForecastResult is one series' answer inside a batch forecast reply.
+type ForecastResult struct {
+	Series string
+	Value  float64
+	MAE    float64
+	MSE    float64
+	Method string
+	Count  int    // history samples the prediction used
+	Error  string // non-empty when this series failed
+	Code   string // failure classification (Code* constants, or "")
+}
+
 // Message is the single flat wire message. Unused fields stay at their
 // zero values; a flat struct keeps gob encoding trivial and the protocol
 // easy to trace.
 type Message struct {
 	Type    MsgType
+	Version int    // protocol version (0 means V1; batch messages carry V2)
 	From    string // sending host
 	ID      int64  // request correlation id (unique per sender)
 	ReplyTo int64  // id of the request this message answers (0 = not a reply)
@@ -104,6 +171,11 @@ type Message struct {
 	Series  string
 	Samples []Sample
 	Count   int
+
+	// Batch query-plane fields (V2).
+	Queries   []SeriesRequest
+	Results   []SeriesResult
+	Forecasts []ForecastResult
 
 	// Forecast fields.
 	Value  float64
@@ -125,6 +197,15 @@ func (m *Message) WireSize() int64 {
 	n += int64(len(m.Samples)) * 16
 	for _, r := range append(m.Regs, m.Reg) {
 		n += int64(len(r.Name)+len(r.Kind)+len(r.Host)+len(r.Owner)) + 16
+	}
+	for _, q := range m.Queries {
+		n += int64(len(q.Series)) + 8
+	}
+	for _, r := range m.Results {
+		n += int64(len(r.Series)+len(r.Error)+len(r.Code)) + int64(len(r.Samples))*16
+	}
+	for _, f := range m.Forecasts {
+		n += int64(len(f.Series)+len(f.Method)+len(f.Error)+len(f.Code)) + 40
 	}
 	return n
 }

@@ -1,10 +1,16 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrClosed marks calls issued through a closed station: the definitive
+// "this endpoint is being torn down" signal, as opposed to a transient
+// timeout. Matched with errors.Is.
+var ErrClosed = errors.New("proto: station closed")
 
 // Transport delivers messages between named hosts.
 type Transport interface {
@@ -108,7 +114,7 @@ func (s *Station) Call(to string, m Message, timeout time.Duration) (Message, er
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return Message{}, fmt.Errorf("proto: station %s closed", s.ep.Host())
+		return Message{}, fmt.Errorf("%w: %s", ErrClosed, s.ep.Host())
 	}
 	s.pending[m.ID] = box
 	s.mu.Unlock()
@@ -121,8 +127,15 @@ func (s *Station) Call(to string, m Message, timeout time.Duration) (Message, er
 	reply, ok := box.RecvTimeout(timeout)
 	if !ok {
 		s.mu.Lock()
+		closed := s.closed
 		delete(s.pending, m.ID)
 		s.mu.Unlock()
+		// Distinguish teardown from a genuine timeout: Close releases
+		// pending boxes, and callers (retry loops like KeepRegistered)
+		// must see ErrClosed, not a fabricated timeout.
+		if closed {
+			return Message{}, fmt.Errorf("%w: %s", ErrClosed, s.ep.Host())
+		}
 		return Message{}, fmt.Errorf("proto: %s: call %v to %s timed out after %v", s.ep.Host(), m.Type, to, timeout)
 	}
 	if reply.Error != "" {

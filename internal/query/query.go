@@ -1,0 +1,696 @@
+// Package query is the unified client facade over a deployed NWS: one
+// versioned query plane in front of the per-service clients. Where the
+// ad-hoc clients (nameserver.Client, memory.Client, forecast.Client)
+// each did a fresh directory lookup and one blocking round-trip per
+// series, a query.Client keeps a TTL'd discovery cache, deduplicates
+// concurrent lookups (singleflight), batches multi-series queries into
+// one V2 round-trip per backend, fans out across backends on a bounded
+// worker pool, caches forecasts per series, and reports failures as
+// structured errors (ErrSeriesUnknown, ErrBackendDown) instead of
+// stringly proto errors.
+//
+// The facade runs identically on the simulated and the TCP platform:
+// all concurrency goes through the proto.Runtime (virtual-clock-safe
+// processes and inboxes), never raw goroutines.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+)
+
+// Structured query-plane errors. Use errors.Is: every failure a Client
+// returns wraps one of these (or is a per-series prediction failure).
+var (
+	// ErrSeriesUnknown: the directory has no entry for the series.
+	ErrSeriesUnknown = errors.New("query: series unknown")
+	// ErrBackendDown: a backend (name server, memory server, forecaster)
+	// did not answer.
+	ErrBackendDown = errors.New("query: backend down")
+)
+
+// Defaults for the client's tunables.
+const (
+	DefaultTTL         = time.Minute      // discovery cache lifetime
+	DefaultForecastTTL = 10 * time.Second // per-series forecast cache
+	DefaultTimeout     = 10 * time.Second // per-call timeout
+	DefaultWorkers     = 8                // concurrent backend fan-out
+
+	// bulkThreshold is the number of unresolved series above which a
+	// batch resolves with one bulk directory listing instead of
+	// per-name lookups: fewer lookups cost less than shipping the whole
+	// series directory for a couple of names.
+	bulkThreshold = 4
+
+	// negativeTTL bounds how long a lookup miss is cached. Much shorter
+	// than the positive TTL: a missing series is often one that is
+	// about to appear (a deployment still warming up, a just-migrated
+	// backend), and a long negative window would hide it exactly when a
+	// client is polling for it.
+	negativeTTL = 5 * time.Second
+
+	// maxForecastEntries caps the per-series forecast cache of one
+	// client. A gateway's client lives for the whole deployment and is
+	// keyed by (series, count), so without a bound the map would grow
+	// monotonically under varied traffic.
+	maxForecastEntries = 4096
+)
+
+// Result is one series' answer from FetchMany.
+type Result struct {
+	Series  string
+	Samples []proto.Sample
+	Err     error
+}
+
+// ForecastResult is one series' answer from ForecastMany.
+type ForecastResult struct {
+	Series     string
+	Prediction forecast.Prediction
+	Err        error
+}
+
+// Stats counts the client's cache and batching behavior (for tests and
+// capacity planning).
+type Stats struct {
+	LookupHits    int // series resolved from the discovery cache
+	LookupCalls   int // directory round-trips (single + bulk)
+	BatchCalls    int // batched backend round-trips (fetch + forecast)
+	ForecastHits  int // forecasts answered from the forecast cache
+	ForecastCalls int // forecasts that went to a forecaster
+}
+
+// Option tunes a Client.
+type Option func(*Client)
+
+// WithTTL sets the discovery-cache lifetime.
+func WithTTL(d time.Duration) Option { return func(c *Client) { c.ttl = d } }
+
+// WithForecastTTL sets the per-series forecast cache lifetime (0
+// disables forecast caching).
+func WithForecastTTL(d time.Duration) Option { return func(c *Client) { c.forecastTTL = d } }
+
+// WithTimeout sets the per-call timeout.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// WithWorkers bounds the concurrent backend fan-out.
+func WithWorkers(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// Dialer is the slice of a platform a Client needs to open its own
+// endpoint: platform.Platform satisfies it.
+type Dialer interface {
+	Runtime() proto.Runtime
+	Transport() proto.Transport
+}
+
+// flight deduplicates concurrent directory lookups for one key: the
+// first caller performs the lookup, everyone else blocks on done (a
+// runtime inbox, so virtual time keeps advancing) until it closes.
+type flight struct {
+	done proto.Inbox
+	err  error
+}
+
+type regEntry struct {
+	reg     proto.Registration
+	expires time.Duration
+	// missing marks a negative entry: the directory answered and the
+	// series was not there. Misses cost one lookup per TTL, not one per
+	// query.
+	missing bool
+}
+
+type fcEntry struct {
+	pred    forecast.Prediction
+	expires time.Duration
+}
+
+// Client is the versioned query plane's client facade.
+type Client struct {
+	port     proto.Port
+	rt       proto.Runtime
+	ns       *nameserver.Client
+	ownsPort bool
+
+	ttl         time.Duration
+	forecastTTL time.Duration
+	timeout     time.Duration
+	workers     int
+
+	mu          sync.Mutex
+	series      map[string]regEntry // series -> owning memory registration
+	forecasters []proto.Registration
+	fcExpires   time.Duration
+	// bulkAt timestamps the last full series-directory refresh: a series
+	// still missing after a fresh bulk view is unknown, not uncached.
+	bulkAt    time.Duration
+	bulkFresh bool
+	flights   map[string]*flight
+	forecasts map[string]fcEntry
+	stats     Stats
+}
+
+// New builds a client that issues its queries through an existing port
+// (a station, or a host agent's role port) against the name server on
+// nsHost.
+func New(port proto.Port, nsHost string, opts ...Option) *Client {
+	c := &Client{
+		port:        port,
+		rt:          port.Runtime(),
+		ns:          nameserver.NewClient(port, nsHost),
+		ttl:         DefaultTTL,
+		forecastTTL: DefaultForecastTTL,
+		timeout:     DefaultTimeout,
+		workers:     DefaultWorkers,
+		series:      map[string]regEntry{},
+		flights:     map[string]*flight{},
+		forecasts:   map[string]fcEntry{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.ns.Timeout = c.timeout
+	return c
+}
+
+// Dial opens a dedicated endpoint named clientHost on the platform's
+// transport and builds a Client over it. Close releases the endpoint.
+func Dial(p Dialer, clientHost, nsHost string, opts ...Option) (*Client, error) {
+	ep, err := p.Transport().Open(clientHost)
+	if err != nil {
+		return nil, fmt.Errorf("query: dial: %w", err)
+	}
+	c := New(proto.NewStation(p.Runtime(), ep), nsHost, opts...)
+	c.ownsPort = true
+	return c, nil
+}
+
+// Close releases the endpoint when the client owns one (built by Dial);
+// clients over borrowed ports are left untouched.
+func (c *Client) Close() error {
+	if c.ownsPort {
+		return c.port.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cache/batching counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// InvalidateSeries drops a series from the discovery cache (tests and
+// callers that know a migration happened).
+func (c *Client) InvalidateSeries(series string) {
+	c.mu.Lock()
+	delete(c.series, series)
+	c.bulkFresh = false
+	c.mu.Unlock()
+}
+
+// fanOut runs fn(i) for every i in [0, n) on at most workers concurrent
+// runtime processes and returns when all are done. Coordination uses a
+// runtime inbox, so on the simulated platform the virtual clock keeps
+// advancing while the caller waits.
+func (c *Client) fanOut(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	k := c.workers
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	done := c.rt.NewInbox("query:fanout:" + c.port.Host())
+	var mu sync.Mutex
+	next := 0
+	for w := 0; w < k; w++ {
+		c.rt.Go(fmt.Sprintf("query:worker:%s:%d", c.port.Host(), w), func() {
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					break
+				}
+				fn(i)
+			}
+			done.Send(proto.Message{})
+		})
+	}
+	for w := 0; w < k; w++ {
+		done.Recv()
+	}
+	done.Close()
+}
+
+// await joins an in-progress flight for key, or registers a new one and
+// returns run=true: the caller must then execute the lookup and finish
+// with c.land(key, err). c.mu must be held; it is released and retaken.
+func (c *Client) await(key string) (run bool, err error) {
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		f.done.Recv() // closed by the leader
+		c.mu.Lock()
+		return false, f.err
+	}
+	c.flights[key] = &flight{done: c.rt.NewInbox("query:flight:" + key)}
+	return true, nil
+}
+
+// land completes the flight for key, waking every waiter. c.mu must be
+// held.
+func (c *Client) land(key string, err error) {
+	f := c.flights[key]
+	delete(c.flights, key)
+	f.err = err
+	f.done.Close()
+}
+
+// resolve returns the directory registration owning series, through the
+// TTL'd cache and lookup singleflight. bulkHint tells the resolver more
+// unresolved lookups are coming, so a single directory round-trip
+// listing every series beats per-name lookups.
+func (c *Client) resolve(series string, bulkHint bool) (proto.Registration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.rt.Now()
+	if e, ok := c.series[series]; ok && e.expires > now {
+		c.stats.LookupHits++
+		if e.missing {
+			return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
+		}
+		return e.reg, nil
+	}
+	// A fresh bulk view that does not contain the series settles it as
+	// unknown — for the short negative window only, so a series that
+	// registers moments later is picked up promptly.
+	if bulkHint && c.bulkFresh && c.bulkAt+negativeTTL > now {
+		return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
+	}
+	key := "name:" + series
+	if bulkHint {
+		key = "bulk"
+	}
+	run, ferr := c.await(key)
+	if !run {
+		// The flight landed; the bulk flight may have resolved us.
+		if e, ok := c.series[series]; ok && e.expires > c.rt.Now() && !e.missing {
+			return e.reg, nil
+		}
+		if ferr != nil {
+			return proto.Registration{}, ferr
+		}
+		return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
+	}
+	c.stats.LookupCalls++
+	c.mu.Unlock()
+	var err error
+	if bulkHint {
+		var regs []proto.Registration
+		regs, err = c.ns.LookupKind("series", "")
+		c.mu.Lock()
+		if err == nil {
+			exp := c.rt.Now() + c.ttl
+			for _, r := range regs {
+				c.series[r.Name] = regEntry{reg: r, expires: exp}
+			}
+			c.bulkAt, c.bulkFresh = c.rt.Now(), true
+		}
+	} else {
+		var reg proto.Registration
+		var found bool
+		reg, found, err = c.ns.LookupName(series)
+		c.mu.Lock()
+		if err == nil {
+			ttl := c.ttl
+			if !found {
+				ttl = negativeTTL
+			}
+			c.series[series] = regEntry{reg: reg, missing: !found, expires: c.rt.Now() + ttl}
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("%w: name server: %v", ErrBackendDown, err)
+	}
+	c.land(key, err)
+	if err != nil {
+		return proto.Registration{}, err
+	}
+	if e, ok := c.series[series]; ok && e.expires > c.rt.Now() && !e.missing {
+		return e.reg, nil
+	}
+	return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
+}
+
+// dropBackend evicts every cached binding onto a failed backend host,
+// so the next query re-resolves (a reconcile may have re-homed it).
+func (c *Client) dropBackend(host string) {
+	c.mu.Lock()
+	for name, e := range c.series {
+		if e.reg.Host == host {
+			delete(c.series, name)
+		}
+	}
+	// The bulk view no longer reflects reality for this backend: let the
+	// next batch re-ask the directory instead of declaring its series
+	// unknown.
+	c.bulkFresh = false
+	c.mu.Unlock()
+}
+
+// Fetch returns the newest n samples of one series (n <= 0: the full
+// retained window). Errors wrap ErrSeriesUnknown or ErrBackendDown.
+func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
+	res := c.FetchMany([]proto.SeriesRequest{{Series: series, Count: n}})
+	return res[0].Samples, res[0].Err
+}
+
+// FetchMany answers every requested series, batching into one V2
+// round-trip per owning memory server and fanning out across backends
+// on the bounded worker pool. Results keep the request order; failures
+// are per-series (a dead backend fails only its series).
+func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
+	results := make([]Result, len(reqs))
+	for i, q := range reqs {
+		results[i].Series = q.Series
+	}
+
+	// Resolve owners (cache + singleflight) and group the fetches per
+	// backend. A cold batch with more than a handful of unresolved
+	// series amortizes discovery into one bulk directory round-trip;
+	// smaller gaps stay on per-name lookups so a 2-series query never
+	// downloads the whole series directory.
+	byHost := map[string][]int{}
+	unresolved := 0
+	c.mu.Lock()
+	now := c.rt.Now()
+	for _, q := range reqs {
+		if e, ok := c.series[q.Series]; !ok || e.expires <= now {
+			unresolved++
+		}
+	}
+	c.mu.Unlock()
+	bulk := unresolved > bulkThreshold
+	// A directory that stopped answering fails the whole unresolved
+	// remainder at once: without this, a cold batch against a dead name
+	// server would serialize one full lookup timeout per series.
+	var nsDown error
+	for i, q := range reqs {
+		if nsDown != nil {
+			c.mu.Lock()
+			e, ok := c.series[q.Series]
+			fresh := ok && e.expires > c.rt.Now() && !e.missing
+			c.mu.Unlock()
+			if !fresh {
+				results[i].Err = nsDown
+				continue
+			}
+		}
+		reg, err := c.resolve(q.Series, bulk)
+		if err != nil {
+			results[i].Err = err
+			if errors.Is(err, ErrBackendDown) {
+				nsDown = err
+			}
+			continue
+		}
+		byHost[reg.Host] = append(byHost[reg.Host], i)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	// One batched round-trip per backend, concurrently.
+	c.fanOut(len(hosts), func(w int) {
+		host := hosts[w]
+		idxs := byHost[host]
+		batch := make([]proto.SeriesRequest, len(idxs))
+		for k, i := range idxs {
+			batch[k] = reqs[i]
+		}
+		c.mu.Lock()
+		c.stats.BatchCalls++
+		c.mu.Unlock()
+		reply, err := c.port.Call(host, proto.Message{
+			Type: proto.MsgBatchFetch, Version: proto.V2, Queries: batch,
+		}, c.timeout)
+		if err != nil {
+			c.dropBackend(host)
+			for _, i := range idxs {
+				results[i].Err = fmt.Errorf("%w: memory %s: %v", ErrBackendDown, host, err)
+			}
+			return
+		}
+		for k, i := range idxs {
+			if k >= len(reply.Results) {
+				results[i].Err = fmt.Errorf("%w: memory %s: short batch reply", ErrBackendDown, host)
+				continue
+			}
+			r := reply.Results[k]
+			if r.Error != "" {
+				results[i].Err = fmt.Errorf("%w: memory %s: %s", ErrBackendDown, host, r.Error)
+				continue
+			}
+			results[i].Samples = r.Samples
+		}
+	})
+	return results
+}
+
+// Forecast predicts the next value of one series (history <= 0: the
+// forecaster's default window), through the per-series forecast cache.
+func (c *Client) Forecast(series string, history int) (forecast.Prediction, error) {
+	res := c.ForecastMany([]proto.SeriesRequest{{Series: series, Count: history}})
+	return res[0].Prediction, res[0].Err
+}
+
+// ForecastMany predicts every requested series: cache hits answer
+// locally, the misses shard across the registered forecasters (stable
+// by series hash) with one V2 round-trip per forecaster.
+func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
+	results := make([]ForecastResult, len(reqs))
+	now := c.rt.Now()
+	var missIdx []int
+	c.mu.Lock()
+	for i, q := range reqs {
+		results[i].Series = q.Series
+		if e, ok := c.forecasts[fcKey(q)]; ok && e.expires > now {
+			results[i].Prediction = e.pred
+			c.stats.ForecastHits++
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	c.mu.Unlock()
+	if len(missIdx) == 0 {
+		return results
+	}
+
+	fcs, err := c.forecasterList()
+	if err != nil {
+		for _, i := range missIdx {
+			results[i].Err = err
+		}
+		return results
+	}
+
+	// Stable sharding: a series always goes to the same forecaster (the
+	// list is sorted), so its history stays warm there.
+	shards := make([][]int, len(fcs))
+	for _, i := range missIdx {
+		s := shardOf(reqs[i].Series, len(fcs))
+		shards[s] = append(shards[s], i)
+	}
+	var active [][]int
+	var hosts []string
+	for s, idxs := range shards {
+		if len(idxs) > 0 {
+			active = append(active, idxs)
+			hosts = append(hosts, fcs[s].Host)
+		}
+	}
+
+	c.fanOut(len(active), func(w int) {
+		idxs := active[w]
+		host := hosts[w]
+		batch := make([]proto.SeriesRequest, len(idxs))
+		for k, i := range idxs {
+			batch[k] = reqs[i]
+		}
+		c.mu.Lock()
+		c.stats.BatchCalls++
+		c.stats.ForecastCalls += len(idxs)
+		c.mu.Unlock()
+		reply, err := c.port.Call(host, proto.Message{
+			Type: proto.MsgBatchForecast, Version: proto.V2, Queries: batch,
+		}, c.timeout)
+		if err != nil {
+			c.dropForecaster(host)
+			for _, i := range idxs {
+				results[i].Err = fmt.Errorf("%w: forecaster %s: %v", ErrBackendDown, host, err)
+			}
+			return
+		}
+		exp := c.rt.Now() + c.forecastTTL
+		for k, i := range idxs {
+			if k >= len(reply.Forecasts) {
+				results[i].Err = fmt.Errorf("%w: forecaster %s: short batch reply", ErrBackendDown, host)
+				continue
+			}
+			f := reply.Forecasts[k]
+			if f.Error != "" {
+				results[i].Err = CodedError(f.Code, fmt.Sprintf("forecaster %s: %s", host, f.Error))
+				continue
+			}
+			results[i].Prediction = forecast.Prediction{
+				Value: f.Value, MAE: f.MAE, MSE: f.MSE, Method: f.Method, N: f.Count,
+			}
+			if c.forecastTTL > 0 {
+				c.mu.Lock()
+				c.storeForecast(fcKey(reqs[i]), fcEntry{pred: results[i].Prediction, expires: exp})
+				c.mu.Unlock()
+			}
+		}
+	})
+	return results
+}
+
+// forecasterList returns the registered forecasters (sorted by name),
+// through the TTL'd cache and singleflight.
+func (c *Client) forecasterList() ([]proto.Registration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.forecasters) > 0 && c.fcExpires > c.rt.Now() {
+		return c.forecasters, nil
+	}
+	run, ferr := c.await("kind:forecaster")
+	if !run {
+		if len(c.forecasters) > 0 && c.fcExpires > c.rt.Now() {
+			return c.forecasters, nil
+		}
+		if ferr != nil {
+			return nil, ferr
+		}
+		return nil, fmt.Errorf("%w: no forecaster registered", ErrBackendDown)
+	}
+	c.stats.LookupCalls++
+	c.mu.Unlock()
+	regs, err := c.ns.LookupKind("forecaster", "")
+	c.mu.Lock()
+	if err != nil {
+		err = fmt.Errorf("%w: name server: %v", ErrBackendDown, err)
+	} else if len(regs) == 0 {
+		err = fmt.Errorf("%w: no forecaster registered", ErrBackendDown)
+	} else {
+		c.forecasters = regs
+		c.fcExpires = c.rt.Now() + c.ttl
+	}
+	c.land("kind:forecaster", err)
+	if err != nil {
+		return nil, err
+	}
+	return c.forecasters, nil
+}
+
+// dropForecaster removes one failed forecaster from the cached list, so
+// the next batch shards across the survivors instead of re-fetching the
+// same directory listing (which would still contain the stale entry
+// until its TTL lapses). An emptied list forces a fresh lookup. The
+// replacement is a fresh slice: forecasterList's callers hold the old
+// backing array outside the lock.
+func (c *Client) dropForecaster(host string) {
+	c.mu.Lock()
+	var kept []proto.Registration
+	for _, r := range c.forecasters {
+		if r.Host != host {
+			kept = append(kept, r)
+		}
+	}
+	c.forecasters = kept
+	if len(c.forecasters) == 0 {
+		c.fcExpires = 0
+	}
+	c.mu.Unlock()
+}
+
+// CodedError rehydrates a per-series wire error (its proto.Code*
+// classification plus the human-readable message) into the structured
+// vocabulary, so errors.Is works across serialization boundaries
+// without anyone sniffing message text.
+func CodedError(code, msg string) error {
+	switch code {
+	case proto.CodeUnknownSeries:
+		return fmt.Errorf("%w: %s", ErrSeriesUnknown, msg)
+	case proto.CodeBackendDown:
+		return fmt.Errorf("%w: %s", ErrBackendDown, msg)
+	default:
+		return errors.New("query: " + msg)
+	}
+}
+
+// ErrCode classifies a query error as its wire code ("" when the error
+// is nil or carries no classification) — the inverse of CodedError,
+// used by the gateway to serialize structured errors.
+func ErrCode(err error) string {
+	switch {
+	case errors.Is(err, ErrSeriesUnknown):
+		return proto.CodeUnknownSeries
+	case errors.Is(err, ErrBackendDown):
+		return proto.CodeBackendDown
+	default:
+		return ""
+	}
+}
+
+// storeForecast inserts a cache entry, sweeping expired entries (and,
+// as a last resort, resetting the map) when the cap is reached so the
+// cache stays bounded over a long-lived client. c.mu must be held.
+func (c *Client) storeForecast(key string, e fcEntry) {
+	if len(c.forecasts) >= maxForecastEntries {
+		now := c.rt.Now()
+		for k, v := range c.forecasts {
+			if v.expires <= now {
+				delete(c.forecasts, k)
+			}
+		}
+		if len(c.forecasts) >= maxForecastEntries {
+			c.forecasts = map[string]fcEntry{}
+		}
+	}
+	c.forecasts[key] = e
+}
+
+func fcKey(q proto.SeriesRequest) string {
+	return fmt.Sprintf("%s|%d", q.Series, q.Count)
+}
+
+func shardOf(series string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(series))
+	return int(h.Sum32() % uint32(n))
+}

@@ -10,7 +10,9 @@ import (
 	"nwsenv/internal/core"
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/metrics"
+	"nwsenv/internal/nws/gateway"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
@@ -183,6 +185,71 @@ func TestReconcileMasterFailover(t *testing.T) {
 	}
 	if v := deploy.ValidateConnectivity(dep.Plan); !v.Complete {
 		t.Fatalf("failover plan incomplete: %v", v.MissingPairs)
+	}
+}
+
+// TestReconcileGatewayRehomed: the query gateway rides the master — when
+// its host dies, the reconcile loop re-homes it alongside the name
+// server, the new gateway re-registers under kind "gateway", and an end
+// user on a surviving host can still discover it and fetch live
+// measurements through the query plane.
+func TestReconcileGatewayRehomed(t *testing.T) {
+	e := deployLAN(t, 11, 2, 3)
+	base := e.sim.Now()
+	master := e.out.Plan.Master
+	masterID := e.out.Resolve[master]
+	if e.out.Plan.Gateway != master {
+		t.Fatalf("gateway planned on %q, want the master %q", e.out.Plan.Gateway, master)
+	}
+
+	rec := e.watch(context.Background(), 2*time.Minute)
+	simnet.CrashScenario(masterID, base+time.Minute, 0).Schedule(e.net)
+
+	advance(t, e.sim, base+12*time.Minute)
+	dep := rec.Deployment()
+	if dep.Plan.Gateway == master {
+		t.Fatalf("gateway still on dead master %s", master)
+	}
+	if dep.Plan.Gateway != dep.Plan.Master {
+		t.Fatalf("gateway %q re-homed away from the new master %q", dep.Plan.Gateway, dep.Plan.Master)
+	}
+
+	// Give the rebuilt cliques a few rounds to measure, then query.
+	advance(t, e.sim, e.sim.Now()+5*time.Minute)
+	nsID := dep.Resolve[dep.Plan.NameServer]
+	gwID := dep.Resolve[dep.Plan.Gateway]
+	pairs := dep.Plan.MeasuredPairs()
+	if len(pairs) == 0 {
+		t.Fatal("no measured pairs after failover")
+	}
+	src, dst := dep.Resolve[pairs[0][0]], dep.Resolve[pairs[0][1]]
+	var qerr error
+	var samples []proto.Sample
+	done := false
+	e.sim.Go("user", func() {
+		defer func() { done = true }()
+		st := dep.Agents[dep.Plan.Master].Station()
+		reg, err := gateway.Discover(st, nsID)
+		if err != nil {
+			qerr = err
+			return
+		}
+		if reg.Host != gwID {
+			qerr = fmt.Errorf("discovered gateway on %s, want %s", reg.Host, gwID)
+			return
+		}
+		gc := gateway.NewClient(st, reg.Host)
+		samples, qerr = gc.Fetch(sensor.LatencySeries(src, dst), 1)
+	})
+	advance(t, e.sim, e.sim.Now()+2*time.Minute)
+	if !done {
+		t.Fatal("gateway query did not finish")
+	}
+	if qerr != nil {
+		t.Fatalf("query through re-homed gateway: %v", qerr)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("expected 1 sample, got %d", len(samples))
 	}
 }
 
