@@ -17,7 +17,7 @@ import (
 	"nwsenv/internal/env"
 	"nwsenv/internal/metrics"
 	"nwsenv/internal/nws/clique"
-	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/simnet"
@@ -610,7 +610,7 @@ func BenchmarkE12ForecasterAccuracy(b *testing.B) {
 			}},
 		}
 		for _, g := range gens {
-			bt := forecast.NewBattery()
+			bt := predict.NewBattery()
 			prev := 0.0
 			for k := 0; k < 2000; k++ {
 				v := g.gen(k, prev)

@@ -17,7 +17,7 @@ import (
 	"nwsenv/internal/core"
 	"nwsenv/internal/env"
 	"nwsenv/internal/metrics"
-	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
@@ -102,7 +102,7 @@ func main() {
 		{"the-doors.ens-lyon.fr", "popc.ens-lyon.fr"},     // represented by the hub pairs
 		{"canaria.ens-lyon.fr", "myri2.popc.private"},     // composed through 3 segments
 	}
-	var fc forecast.Prediction
+	var fc predict.Prediction
 	sim.Go("queries", func() {
 		master := out.Deployment.Agents[out.Plan.Master]
 		est := out.Deployment.Estimator(master.Station())

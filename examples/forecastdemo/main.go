@@ -11,7 +11,7 @@ import (
 	"math"
 	"math/rand"
 
-	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/predict"
 )
 
 type trace struct {
@@ -43,7 +43,7 @@ func main() {
 	fmt.Printf("%-16s %10s %10s %10s %12s\n", "trace", "batteryMAE", "lastMAE", "mean21MAE", "chosen")
 	for _, tr := range traces {
 		rng := rand.New(rand.NewSource(7))
-		b := forecast.NewBattery()
+		b := predict.NewBattery()
 		prev := 0.0
 		for i := 0; i < 3000; i++ {
 			v := tr.gen(rng, i, prev)

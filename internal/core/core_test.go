@@ -8,7 +8,7 @@ import (
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/env"
 	"nwsenv/internal/gridml"
-	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
@@ -260,7 +260,7 @@ func TestCPUForecastEndToEnd(t *testing.T) {
 	if err := sim.RunUntil(base + 5*time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	var pred forecast.Prediction
+	var pred predict.Prediction
 	var err error
 	sim.Go("cpu-query", func() {
 		master := out.Deployment.Agents[out.Plan.Master]

@@ -1,0 +1,297 @@
+// Package discoverytest is the cross-role discovery conformance suite:
+// one table of directory-churn scenarios (stale registration, owner
+// re-homed, name server down, late-appearing series, lease expiry
+// mid-query) run identically against every role that resolves series
+// through the deployment's directory — direct memory fetch
+// (query.Client), the forecaster's history resolution (its embedded
+// query.Client), and end-user access through gateway discovery.
+//
+// The suite exists to pin the consolidation of the resolution plane: a
+// scenario passes for a role exactly when the role exhibits
+// query.Client semantics — structured ErrSeriesUnknown/ErrBackendDown
+// failures (never hangs, never stringly errors), eviction of bindings
+// onto failed backends so recovery needs no TTL wait, a short negative
+// window for lookup misses, and cached bindings that keep answering
+// through a directory lease gap. A role growing its own parallel
+// resolver would drift from the table and fail here first.
+//
+// Like testing/fstest in the standard library, this is a non-test
+// package importing "testing" so role packages (and future roles) can
+// run the same table.
+package discoverytest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/forecast"
+	"nwsenv/internal/nws/gateway"
+	"nwsenv/internal/nws/memory"
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/query"
+	"nwsenv/internal/simnet"
+	"nwsenv/internal/vclock"
+)
+
+// Well-known rig hosts.
+const (
+	NSHost      = "ns"   // name server
+	MemHostA    = "m1"   // memory server owning SeriesA
+	MemHostB    = "m2"   // memory server owning SeriesB
+	Forecastern = "fc"   // forecaster
+	GatewayHost = "gw"   // query gateway
+	UserHost    = "user" // the probing client's station
+	// DeadHost is part of the topology but never opens an endpoint:
+	// stale registrations can point at it and calls there time out, like
+	// packets to a decommissioned machine.
+	DeadHost = "dead"
+)
+
+// Seeded series: SeriesA lives on MemHostA, SeriesB on MemHostB, 20
+// samples each.
+const (
+	SeriesA = "alpha"
+	SeriesB = "beta"
+)
+
+// negativeWindow is the query plane's short negative-cache TTL for
+// lookup misses: scenarios sleep just past it when they need a fresh
+// resolution after a miss.
+const negativeWindow = query.NegativeTTL
+
+// QueryFn is one role's way of resolving and reading a series through
+// the deployment. It must be called from a simulation process (the Rig
+// step helpers do) and returns nil on success or the role's structured
+// error.
+type QueryFn func(series string) error
+
+// Rig is a full serving stack on the simulated platform: name server,
+// two memory servers, a forecaster, a gateway, and a user station the
+// probes issue their traffic from.
+type Rig struct {
+	Sim  *vclock.Sim
+	TR   *proto.SimTransport
+	User *proto.Station
+}
+
+// NewRig builds and seeds the stack. All links share one switch with
+// millisecond-scale latencies, so probe round-trips stay well inside
+// the query plane's negative-cache window.
+func NewRig(t *testing.T) *Rig {
+	t.Helper()
+	topo := simnet.NewTopology()
+	hosts := []string{NSHost, MemHostA, MemHostB, Forecastern, GatewayHost, UserHost, DeadHost}
+	for i, h := range hosts {
+		topo.AddHost(h, fmt.Sprintf("10.9.0.%d", i+1), h, "lan")
+	}
+	topo.AddSwitch("sw")
+	for _, h := range hosts {
+		topo.Connect(h, "sw")
+	}
+	sim := vclock.New()
+	tr := proto.NewSimTransport(simnet.NewNetwork(sim, topo))
+	rt := tr.Runtime()
+	open := func(h string) *proto.Station {
+		ep, err := tr.Open(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto.NewStation(rt, ep)
+	}
+	stNS := open(NSHost)
+	sim.Go("ns", nameserver.New(stNS).Run)
+	for _, m := range []string{MemHostA, MemHostB} {
+		st := open(m)
+		sim.Go(m, memory.New(st, nameserver.NewClient(st, NSHost)).Run)
+	}
+	stFC := open(Forecastern)
+	sim.Go("fc", forecast.NewServer(stFC, nameserver.NewClient(stFC, NSHost), 0).Run)
+	stGW := open(GatewayHost)
+	sim.Go("gw", gateway.New(stGW, NSHost).Run)
+
+	r := &Rig{Sim: sim, TR: tr, User: open(UserHost)}
+	r.Store(t, MemHostA, SeriesA, 20)
+	r.Store(t, MemHostB, SeriesB, 20)
+	return r
+}
+
+// Run executes fn as a simulation process, stepping the clock per
+// second so TTLs and timeouts age realistically while it runs.
+func (r *Rig) Run(t *testing.T, fn func()) {
+	t.Helper()
+	done := false
+	r.Sim.Go("step", func() { fn(); done = true })
+	deadline := r.Sim.Now() + 2*time.Hour
+	for at := r.Sim.Now() + time.Second; !done && at <= deadline; at += time.Second {
+		if err := r.Sim.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done {
+		t.Fatal("scenario step did not finish")
+	}
+}
+
+// Advance moves virtual time forward with no foreground work (the
+// background refresh loops and caches age).
+func (r *Rig) Advance(t *testing.T, d time.Duration) {
+	t.Helper()
+	if err := r.Sim.RunUntil(r.Sim.Now() + d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Store seeds n samples of series onto the memory server on host (which
+// registers ownership in the directory, as in production).
+func (r *Rig) Store(t *testing.T, host, series string, n int) {
+	t.Helper()
+	r.Run(t, func() {
+		mc := memory.NewClient(r.User, host)
+		for i := 1; i <= n; i++ {
+			if err := mc.Store(series, proto.Sample{At: time.Duration(i) * time.Second, Value: float64(i)}); err != nil {
+				t.Errorf("seed %s on %s: %v", series, host, err)
+				return
+			}
+		}
+	})
+}
+
+// Register writes a directory entry from the user station — how
+// scenarios plant stale or short-leased registrations.
+func (r *Rig) Register(t *testing.T, reg proto.Registration) {
+	t.Helper()
+	r.Run(t, func() {
+		if err := nameserver.NewClient(r.User, NSHost).Register(reg); err != nil {
+			t.Errorf("register %+v: %v", reg, err)
+		}
+	})
+}
+
+// Expect runs one probe query in-sim and asserts its outcome: want nil
+// for success, or a structured query error class matched with
+// errors.Is. Any other shape (hang, unstructured error, unexpected
+// success) fails the conformance run.
+func (r *Rig) Expect(t *testing.T, step string, q QueryFn, series string, want error) {
+	t.Helper()
+	var got error
+	r.Run(t, func() { got = q(series) })
+	if want == nil {
+		if got != nil {
+			t.Fatalf("%s: query(%s) failed: %v", step, series, got)
+		}
+		return
+	}
+	if got == nil {
+		t.Fatalf("%s: query(%s) succeeded, want %v", step, series, want)
+	}
+	if !errors.Is(got, want) {
+		t.Fatalf("%s: query(%s) = %v, want errors.Is %v", step, series, got, want)
+	}
+}
+
+// Scenario is one churn case every discovery role must survive the same
+// way.
+type Scenario struct {
+	Name string
+	Run  func(t *testing.T, r *Rig, q QueryFn)
+}
+
+// Scenarios is the shared conformance table.
+var Scenarios = []Scenario{
+	{
+		// The directory answers with a binding onto a host that is not
+		// serving (a decommissioned machine whose entry was never
+		// cleaned). The role must fail structurally — ErrBackendDown, not
+		// a hang — evict the binding, and recover as soon as the real
+		// owner re-registers, with no TTL wait.
+		Name: "stale-registration",
+		Run: func(t *testing.T, r *Rig, q QueryFn) {
+			r.Register(t, proto.Registration{Name: SeriesA, Kind: "series", Host: DeadHost, Owner: "memory." + DeadHost})
+			r.Expect(t, "stale binding", q, SeriesA, query.ErrBackendDown)
+			r.Register(t, proto.Registration{Name: SeriesA, Kind: "series", Host: MemHostA, Owner: "memory." + MemHostA})
+			r.Expect(t, "after owner re-registers", q, SeriesA, nil)
+		},
+	},
+	{
+		// A reconcile moves the series to another memory server and the
+		// old owner dies. The warm binding fails once (evicting itself);
+		// the very next query must already reach the new owner.
+		Name: "owner-rehomed",
+		Run: func(t *testing.T, r *Rig, q QueryFn) {
+			r.Expect(t, "warm-up against the old owner", q, SeriesA, nil)
+			r.Store(t, MemHostB, SeriesA, 20) // new owner registers itself
+			r.TR.SetDown(MemHostA, true)
+			r.Expect(t, "stale warm binding onto the dead owner", q, SeriesA, query.ErrBackendDown)
+			r.Expect(t, "first retry reaches the new owner", q, SeriesA, nil)
+			r.TR.SetDown(MemHostA, false)
+		},
+	},
+	{
+		// The directory itself is unreachable: cold resolution fails as
+		// ErrBackendDown (at most one lookup timeout — never one per
+		// series, never a hang) and recovers the moment the name server
+		// answers again. Nothing was negative-cached by the outage.
+		Name: "ns-down",
+		Run: func(t *testing.T, r *Rig, q QueryFn) {
+			r.TR.SetDown(NSHost, true)
+			r.Expect(t, "cold resolution with the directory down", q, SeriesA, query.ErrBackendDown)
+			r.TR.SetDown(NSHost, false)
+			r.Expect(t, "directory back", q, SeriesA, nil)
+		},
+	},
+	{
+		// A series that does not exist yet: the miss is ErrSeriesUnknown
+		// and is negative-cached for the short window only — briefly
+		// still unknown right after the series appears, found promptly
+		// once the window lapses. A long negative window would hide a
+		// series exactly when a client is polling for it.
+		Name: "late-appearing-series",
+		Run: func(t *testing.T, r *Rig, q QueryFn) {
+			const series = "gamma"
+			r.Expect(t, "before the series exists", q, series, query.ErrSeriesUnknown)
+			r.Store(t, MemHostA, series, 20)
+			r.Expect(t, "inside the negative window", q, series, query.ErrSeriesUnknown)
+			r.Advance(t, negativeWindow+time.Second)
+			r.Expect(t, "after the negative window", q, series, nil)
+		},
+	},
+	{
+		// The series' directory lease expires mid-conversation (its owner
+		// stopped refreshing it). The cached binding keeps answering
+		// through the gap — availability first — until the discovery TTL
+		// forces a re-resolution, which sees the expired lease as an
+		// unknown series; a fresh registration then restores service.
+		Name: "lease-expiry-mid-query",
+		Run: func(t *testing.T, r *Rig, q QueryFn) {
+			const series = "leased"
+			r.Store(t, MemHostA, series, 20)
+			// Pin the lease short; the owner's next refresh is 10 virtual
+			// minutes out, far beyond this scenario.
+			r.Register(t, proto.Registration{Name: series, Kind: "series", Host: MemHostA, Owner: "memory." + MemHostA, TTL: 30 * time.Second})
+			r.Expect(t, "resolved while the lease is live", q, series, nil)
+			r.Advance(t, 45*time.Second)
+			r.Expect(t, "lease expired, cached binding still answers", q, series, nil)
+			r.Advance(t, 90*time.Second) // past the discovery TTL
+			r.Expect(t, "cold re-resolution sees the expired lease", q, series, query.ErrSeriesUnknown)
+			r.Register(t, proto.Registration{Name: series, Kind: "series", Host: MemHostA, Owner: "memory." + MemHostA})
+			r.Advance(t, negativeWindow+time.Second)
+			r.Expect(t, "after re-registration", q, series, nil)
+		},
+	},
+}
+
+// RunConformance runs the whole scenario table against one role's
+// probe. newProbe is called once per scenario on a fresh rig, so probe
+// state (caches) spans the steps of a scenario but never leaks across
+// scenarios.
+func RunConformance(t *testing.T, newProbe func(r *Rig) QueryFn) {
+	for _, sc := range Scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			r := NewRig(t)
+			sc.Run(t, r, newProbe(r))
+		})
+	}
+}

@@ -1,42 +1,32 @@
 package forecast
 
 import (
-	"sort"
+	"errors"
 	"time"
 
-	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/query"
 )
-
-// ownerTTL bounds how long a resolved series→memory-server binding is
-// reused before the directory is asked again. Series rarely migrate
-// (only when a reconcile moves a memory server), so a short TTL keeps
-// the window for stale fetches small without a lookup per request.
-const ownerTTL = 30 * time.Second
-
-// bulkOwnerThreshold is the number of cold series in one batch above
-// which the forecaster refreshes its owner cache with a single
-// directory listing instead of one LookupName round-trip per series
-// (mirroring the query client's bulk discovery).
-const bulkOwnerThreshold = 4
-
-type ownerEntry struct {
-	host    string
-	expires time.Duration
-}
 
 // Server is a running NWS forecaster. Each request follows the four-step
 // flow of §2.1: the client asks the forecaster (1), the forecaster asks
 // the name server which memory server holds the series (2), fetches its
 // history (3), and replies with the battery's prediction (4). Batch
-// requests (V2) answer many series in one round-trip, grouping step 3
-// into one batched fetch per memory server.
+// requests (V2) answer many series in one round-trip.
+//
+// Steps 2 and 3 go through an embedded query.Client — the same unified
+// resolution plane every other consumer of the deployment uses — so the
+// forecaster inherits its TTL'd discovery cache, lookup singleflight,
+// bulk cold-batch discovery, negative caching, eviction of failed
+// backends, and one batched fetch per owning memory server, instead of
+// maintaining a parallel series→owner cache.
 type Server struct {
 	st      proto.Port
 	ns      *nameserver.Client
+	qc      *query.Client
 	history int
-	owners  map[string]ownerEntry // series -> memory host, TTL'd
 }
 
 // NewServer creates a forecaster on st using the given directory client.
@@ -45,7 +35,7 @@ func NewServer(st proto.Port, ns *nameserver.Client, history int) *Server {
 	if history <= 0 {
 		history = 256
 	}
-	return &Server{st: st, ns: ns, history: history, owners: map[string]ownerEntry{}}
+	return &Server{st: st, ns: ns, qc: query.New(st, ns.NSHost), history: history}
 }
 
 // Name returns the forecaster's directory name.
@@ -57,7 +47,7 @@ func (s *Server) Name() string { return "forecaster." + s.st.Host() }
 func (s *Server) Run() {
 	reg := proto.Registration{Name: s.Name(), Kind: "forecaster", Host: s.st.Host()}
 	s.ns.Register(reg)
-	s.st.Runtime().Go("forecaster-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg) })
+	s.st.Runtime().Go("forecaster-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg, nil) })
 	for {
 		req, ok := s.st.Recv()
 		if !ok {
@@ -76,27 +66,17 @@ func (s *Server) Run() {
 	}
 }
 
-// owner resolves the memory server holding series, through the TTL'd
-// cache. The empty string with a nil error means the series is unknown.
-func (s *Server) owner(series string) (string, error) {
-	now := s.st.Runtime().Now()
-	if e, ok := s.owners[series]; ok && e.expires > now {
-		return e.host, nil
+// boundedCount clamps a request's history bound to the server's default.
+func (s *Server) boundedCount(n int) int {
+	if n <= 0 {
+		return s.history
 	}
-	reg, found, err := s.ns.LookupName(series)
-	if err != nil {
-		return "", err
-	}
-	if !found {
-		return "", nil
-	}
-	s.owners[series] = ownerEntry{host: reg.Host, expires: now + ownerTTL}
-	return reg.Host, nil
+	return n
 }
 
-// predict runs the battery over a fetched history and shapes the result
-// as a ForecastResult (Error set on empty/insufficient history).
-func predict(series string, samples []proto.Sample) proto.ForecastResult {
+// predictSeries runs the battery over a fetched history and shapes the
+// result as a ForecastResult (Error set on empty/insufficient history).
+func predictSeries(series string, samples []proto.Sample) proto.ForecastResult {
 	if len(samples) == 0 {
 		return proto.ForecastResult{Series: series, Error: "series " + series + " is empty"}
 	}
@@ -104,7 +84,7 @@ func predict(series string, samples []proto.Sample) proto.ForecastResult {
 	for i, sm := range samples {
 		values[i] = sm.Value
 	}
-	pred, ok := Run(values)
+	pred, ok := predict.Run(values)
 	if !ok {
 		return proto.ForecastResult{Series: series, Error: "insufficient history for " + series}
 	}
@@ -115,32 +95,19 @@ func predict(series string, samples []proto.Sample) proto.ForecastResult {
 }
 
 func (s *Server) handleForecast(req proto.Message) {
-	// Step 2: locate the memory server holding the series.
-	memHost, err := s.owner(req.Series)
-	if err != nil {
-		s.st.ReplyError(req, "forecaster: name server: %v", err)
-		return
-	}
-	if memHost == "" {
+	// Steps 2+3: resolve the owning memory server and fetch the history
+	// through the query plane.
+	samples, err := s.qc.Fetch(req.Series, s.boundedCount(req.Count))
+	switch {
+	case errors.Is(err, query.ErrSeriesUnknown):
 		s.st.ReplyError(req, "forecaster: unknown series %q", req.Series)
 		return
-	}
-	// Step 3: fetch the measurement history.
-	mc := memory.NewClient(s.st, memHost)
-	n := req.Count
-	if n <= 0 {
-		n = s.history
-	}
-	samples, err := mc.Fetch(req.Series, n)
-	if err != nil {
-		// The cached binding may point at a re-homed memory server: drop
-		// it so the next request re-resolves instead of re-timing-out.
-		delete(s.owners, req.Series)
+	case err != nil:
 		s.st.ReplyError(req, "forecaster: fetch: %v", err)
 		return
 	}
 	// Step 4: predict and answer.
-	res := predict(req.Series, samples)
+	res := predictSeries(req.Series, samples)
 	if res.Error != "" {
 		s.st.ReplyError(req, "forecaster: %s", res.Error)
 		return
@@ -156,111 +123,31 @@ func (s *Server) handleForecast(req proto.Message) {
 	})
 }
 
-// handleBatchForecast answers a V2 batch: the step-2 lookups go through
-// the owner cache, and step 3 collapses into one BatchFetch round-trip
-// per memory server that owns any of the requested series. Per-series
-// failures (unknown, empty, insufficient history) are inline in the
-// results; only a protocol-level problem fails the whole batch.
+// handleBatchForecast answers a V2 batch: one FetchMany through the
+// query plane resolves every series (bulk directory discovery on a cold
+// cache, a directory outage failing the unresolved remainder at once)
+// and groups the history fetches into one batched round-trip per owning
+// memory server. Per-series failures (unknown, backend down, empty,
+// insufficient history) are inline in the results; only a
+// protocol-level problem fails the whole batch.
 func (s *Server) handleBatchForecast(req proto.Message) {
 	if req.Version > proto.V2 {
 		s.st.ReplyError(req, "forecaster: unsupported protocol version %d (max %d)", req.Version, proto.V2)
 		return
 	}
-	results := make([]proto.ForecastResult, len(req.Queries))
-	// Resolve owners and group the history fetches per memory server. A
-	// cold batch with more than a handful of unresolved series refreshes
-	// the whole owner cache in one directory listing, so step 2 costs one
-	// round-trip instead of one per series.
-	now := s.st.Runtime().Now()
-	cold := 0
-	for _, q := range req.Queries {
-		if e, ok := s.owners[q.Series]; !ok || e.expires <= now {
-			cold++
-		}
-	}
-	bulkFresh := false
-	// nsDown short-circuits further lookups once the directory stops
-	// answering: without it a cold batch would wedge the sequential
-	// forecaster for one full lookup timeout per series.
-	nsDown := false
-	if cold > bulkOwnerThreshold {
-		if regs, err := s.ns.LookupKind("series", ""); err == nil {
-			exp := s.st.Runtime().Now() + ownerTTL
-			for _, r := range regs {
-				s.owners[r.Name] = ownerEntry{host: r.Host, expires: exp}
-			}
-			bulkFresh = true
-		} else {
-			nsDown = true
-		}
-	}
-	byHost := map[string][]int{} // memory host -> indexes into req.Queries
+	fetches := make([]proto.SeriesRequest, len(req.Queries))
 	for i, q := range req.Queries {
-		var memHost string
-		switch {
-		case bulkFresh:
-			// The listing is fresh: a series not in it is unknown, no
-			// per-name fallback lookup needed. Expired leftovers from
-			// before the refresh (entries the listing did NOT renew)
-			// must not be trusted — their backend may be gone.
-			if e, ok := s.owners[q.Series]; ok && e.expires > s.st.Runtime().Now() {
-				memHost = e.host
-			}
-		default:
-			// Still-fresh cache entries answer even with the directory
-			// down; only series that would need a lookup fail fast.
-			if e, ok := s.owners[q.Series]; ok && e.expires > s.st.Runtime().Now() {
-				memHost = e.host
-				break
-			}
-			if nsDown {
-				results[i] = proto.ForecastResult{Series: q.Series, Error: "name server unreachable", Code: proto.CodeBackendDown}
-				continue
-			}
-			var err error
-			memHost, err = s.owner(q.Series)
-			if err != nil {
-				nsDown = true
-				results[i] = proto.ForecastResult{Series: q.Series, Error: "name server: " + err.Error(), Code: proto.CodeBackendDown}
-				continue
-			}
-		}
-		if memHost == "" {
-			results[i] = proto.ForecastResult{Series: q.Series, Error: "unknown series " + q.Series, Code: proto.CodeUnknownSeries}
-			continue
-		}
-		byHost[memHost] = append(byHost[memHost], i)
+		fetches[i] = proto.SeriesRequest{Series: q.Series, Count: s.boundedCount(q.Count)}
 	}
-	hosts := make([]string, 0, len(byHost))
-	for h := range byHost {
-		hosts = append(hosts, h)
-	}
-	sort.Strings(hosts) // deterministic fetch order
-	for _, h := range hosts {
-		idxs := byHost[h]
-		batch := make([]proto.SeriesRequest, len(idxs))
-		for k, i := range idxs {
-			n := req.Queries[i].Count
-			if n <= 0 {
-				n = s.history
-			}
-			batch[k] = proto.SeriesRequest{Series: req.Queries[i].Series, Count: n}
-		}
-		mc := memory.NewClient(s.st, h)
-		fetched, err := mc.BatchFetch(batch)
-		if err != nil || len(fetched) != len(idxs) {
-			for _, i := range idxs {
-				// Evict the stale bindings: the backend may have been
-				// re-homed, and the next batch must re-resolve rather
-				// than repeat the timeout for up to ownerTTL.
-				delete(s.owners, req.Queries[i].Series)
-				results[i] = proto.ForecastResult{Series: req.Queries[i].Series, Error: "fetch from " + h + " failed", Code: proto.CodeBackendDown}
+	results := make([]proto.ForecastResult, len(req.Queries))
+	for i, fr := range s.qc.FetchMany(fetches) {
+		if fr.Err != nil {
+			results[i] = proto.ForecastResult{
+				Series: fr.Series, Error: fr.Err.Error(), Code: query.ErrCode(fr.Err),
 			}
 			continue
 		}
-		for k, i := range idxs {
-			results[i] = predict(req.Queries[i].Series, fetched[k].Samples)
-		}
+		results[i] = predictSeries(fr.Series, fr.Samples)
 	}
 	s.st.Reply(req, proto.Message{Type: proto.MsgBatchForecastReply, Version: proto.V2, Forecasts: results})
 }

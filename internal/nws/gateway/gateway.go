@@ -13,12 +13,11 @@
 package gateway
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
-	"nwsenv/internal/nws/forecast"
 	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/query"
 )
@@ -63,7 +62,7 @@ func (s *Server) Name() string { return "gateway." + s.st.Host() }
 func (s *Server) Run() {
 	reg := proto.Registration{Name: s.Name(), Kind: "gateway", Host: s.st.Host()}
 	s.ns.Register(reg)
-	s.st.Runtime().Go("gateway-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg) })
+	s.st.Runtime().Go("gateway-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg, nil) })
 	for {
 		req, ok := s.st.Recv()
 		if !ok {
@@ -156,13 +155,18 @@ const discoverProbeTimeout = 5 * time.Second
 // its entry lives on), so each candidate — in deterministic LookupKind
 // order, concurrent clients agree — is probed with an empty batch and
 // the first one actually serving the role wins.
+//
+// Failures are the query plane's structured errors: an unreachable
+// directory and an answerless candidate list both wrap
+// query.ErrBackendDown, so discovery fits the same errors.Is vocabulary
+// as every other resolution path.
 func Discover(st proto.Port, nsHost string) (proto.Registration, error) {
 	regs, err := nameserver.NewClient(st, nsHost).LookupKind("gateway", "")
 	if err != nil {
-		return proto.Registration{}, err
+		return proto.Registration{}, fmt.Errorf("%w: gateway discovery: name server: %v", query.ErrBackendDown, err)
 	}
 	if len(regs) == 0 {
-		return proto.Registration{}, errors.New("gateway: none registered")
+		return proto.Registration{}, fmt.Errorf("%w: no gateway registered", query.ErrBackendDown)
 	}
 	for _, reg := range regs {
 		_, err := st.Call(reg.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V2}, discoverProbeTimeout)
@@ -170,7 +174,7 @@ func Discover(st proto.Port, nsHost string) (proto.Registration, error) {
 			return reg, nil
 		}
 	}
-	return proto.Registration{}, fmt.Errorf("gateway: none of %d registered gateway(s) answering", len(regs))
+	return proto.Registration{}, fmt.Errorf("%w: none of %d registered gateway(s) answering", query.ErrBackendDown, len(regs))
 }
 
 // FetchMany answers every requested series in one round-trip to the
@@ -216,7 +220,7 @@ func (c *Client) ForecastMany(reqs []proto.SeriesRequest) ([]query.ForecastResul
 	for i, f := range reply.Forecasts {
 		out[i] = query.ForecastResult{
 			Series: f.Series,
-			Prediction: forecast.Prediction{
+			Prediction: predict.Prediction{
 				Value: f.Value, MAE: f.MAE, MSE: f.MSE, Method: f.Method, N: f.Count,
 			},
 			Err: wireError(f.Code, f.Error),

@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -68,11 +69,15 @@ func (s *Server) Name() string { return "memory." + s.st.Host() }
 
 // Run serves requests until the station closes. It first advertises the
 // server in the directory and keeps the registrations fresh: long-lived
-// monitoring systems outlive the directory TTL.
+// monitoring systems outlive the directory TTL. The refresh rides the
+// shared registration lifecycle (nameserver.Client.KeepRegistered) with
+// a per-tick callback re-advertising the owned series, so the
+// retry/exit policy lives in exactly one place.
 func (s *Server) Run() {
 	if s.ns != nil {
-		s.ns.Register(proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()})
-		s.st.Runtime().Go("memory-refresh:"+s.st.Host(), s.refreshLoop)
+		reg := proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()}
+		s.ns.Register(reg)
+		s.st.Runtime().Go("memory-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg, s.refreshSeries) })
 	}
 	for {
 		req, ok := s.st.Recv()
@@ -94,31 +99,38 @@ func (s *Server) Run() {
 	}
 }
 
-// refreshLoop re-registers the server and its series at a third of the
-// directory TTL, stopping when the station closes. Transient refresh
-// failures retry on the next tick (see nameserver.Client.KeepRegistered
-// for the rationale).
-func (s *Server) refreshLoop() {
-	for {
-		s.st.Runtime().Sleep(nameserver.DefaultTTL / 3)
-		if err := s.ns.Register(proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()}); err != nil {
-			if errors.Is(err, proto.ErrClosed) {
-				return
-			}
+// refreshSeries re-advertises every series this server owns: the
+// per-tick callback KeepRegistered runs after each successful server
+// refresh. Every series gets its own attempt each tick — a transient
+// failure on one (a timed-out call over a degraded link) must not
+// starve the series sorted after it of their refresh — and the first
+// such failure is reported so the lifecycle loop knows the tick was
+// incomplete. Only station teardown (proto.ErrClosed) aborts the
+// sweep, ending the loop.
+func (s *Server) refreshSeries() error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.registered))
+	for name := range s.registered {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	var firstErr error
+	for _, name := range names {
+		err := s.ns.Register(proto.Registration{
+			Name: name, Kind: "series", Host: s.st.Host(), Owner: s.Name(),
+		})
+		if err == nil {
 			continue
 		}
-		s.mu.Lock()
-		names := make([]string, 0, len(s.registered))
-		for name := range s.registered {
-			names = append(names, name)
+		if errors.Is(err, proto.ErrClosed) {
+			return err
 		}
-		s.mu.Unlock()
-		for _, name := range names {
-			s.ns.Register(proto.Registration{
-				Name: name, Kind: "series", Host: s.st.Host(), Owner: s.Name(),
-			})
+		if firstErr == nil {
+			firstErr = err
 		}
 	}
+	return firstErr
 }
 
 func (s *Server) handleStore(req proto.Message) {

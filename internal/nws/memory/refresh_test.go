@@ -1,0 +1,76 @@
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/proto/prototest"
+)
+
+// flakyPort is a proto.Port whose Register calls fail for one scripted
+// series name, recording every attempted registration — the harness for
+// pinning that the per-tick series sweep is per-series resilient.
+type flakyPort struct {
+	prototest.StubPort
+	failFor string
+	failErr error
+	tried   []string
+}
+
+func (p *flakyPort) Call(to string, m proto.Message, d time.Duration) (proto.Message, error) {
+	if m.Type == proto.MsgRegister {
+		p.tried = append(p.tried, m.Reg.Name)
+		if m.Reg.Name == p.failFor {
+			return proto.Message{}, p.failErr
+		}
+	}
+	return proto.Message{Type: proto.MsgRegisterAck}, nil
+}
+
+var _ proto.Port = (*flakyPort)(nil)
+
+// TestRefreshSeriesSurvivesPartialFailure: one series' transient
+// registration failure must not starve the series after it — every
+// owned series gets its own attempt per tick, and the tick reports the
+// failure so the lifecycle loop retries next round.
+func TestRefreshSeriesSurvivesPartialFailure(t *testing.T) {
+	port := &flakyPort{failFor: "b.series", failErr: errors.New("proto: call timed out")}
+	s := New(port, nameserver.NewClient(port, "ns"))
+	for _, name := range []string{"a.series", "b.series", "c.series"} {
+		s.registered[name] = true
+	}
+	err := s.refreshSeries()
+	if err == nil {
+		t.Fatal("incomplete sweep reported no error")
+	}
+	if errors.Is(err, proto.ErrClosed) {
+		t.Fatalf("transient failure misreported as teardown: %v", err)
+	}
+	want := []string{"a.series", "b.series", "c.series"}
+	if fmt.Sprint(port.tried) != fmt.Sprint(want) {
+		t.Fatalf("attempted %v, want every series %v", port.tried, want)
+	}
+}
+
+// TestRefreshSeriesStopsOnTeardown: proto.ErrClosed aborts the sweep —
+// a dying station must not keep hammering Register — and propagates so
+// KeepRegistered exits.
+func TestRefreshSeriesStopsOnTeardown(t *testing.T) {
+	port := &flakyPort{failFor: "b.series", failErr: fmt.Errorf("%w: mflaky", proto.ErrClosed)}
+	s := New(port, nameserver.NewClient(port, "ns"))
+	for _, name := range []string{"a.series", "b.series", "c.series"} {
+		s.registered[name] = true
+	}
+	err := s.refreshSeries()
+	if !errors.Is(err, proto.ErrClosed) {
+		t.Fatalf("teardown not propagated: %v", err)
+	}
+	want := []string{"a.series", "b.series"}
+	if fmt.Sprint(port.tried) != fmt.Sprint(want) {
+		t.Fatalf("attempted %v, want sweep aborted after %v", port.tried, want)
+	}
+}

@@ -1,0 +1,140 @@
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/proto/prototest"
+	"nwsenv/internal/vclock"
+)
+
+// scriptedPort is a proto.Port whose Calls answer from a scripted error
+// sequence (the last entry repeats), so the KeepRegistered retry/exit
+// policy can be pinned tick by tick without a network.
+type scriptedPort struct {
+	prototest.StubPort
+
+	mu    sync.Mutex
+	errs  []error
+	calls int
+}
+
+func (p *scriptedPort) Call(to string, m proto.Message, d time.Duration) (proto.Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := p.calls
+	p.calls++
+	if i >= len(p.errs) {
+		i = len(p.errs) - 1
+	}
+	if i >= 0 && p.errs[i] != nil {
+		return proto.Message{}, p.errs[i]
+	}
+	return proto.Message{Type: proto.MsgRegisterAck}, nil
+}
+
+func (p *scriptedPort) callCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+var _ proto.Port = (*scriptedPort)(nil)
+
+// keepRig runs KeepRegistered over a scripted port for `ticks` refresh
+// intervals and reports whether the loop had exited by then.
+func keepRig(t *testing.T, regErrs []error, onTick func() error, ticks int) (exited bool, port *scriptedPort) {
+	t.Helper()
+	sim := vclock.New()
+	port = &scriptedPort{StubPort: prototest.StubPort{HostName: "scripted", RT: proto.NewSimRuntime(sim)}, errs: regErrs}
+	c := NewClient(port, "ns")
+	done := false
+	sim.Go("keep", func() {
+		c.KeepRegistered(proto.Registration{Name: "memory.scripted", Kind: "memory", Host: "scripted"}, onTick)
+		done = true
+	})
+	horizon := time.Duration(ticks)*(DefaultTTL/3) + time.Minute
+	if err := sim.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return done, port
+}
+
+func closedErr() error {
+	return fmt.Errorf("%w: scripted", proto.ErrClosed)
+}
+
+// Exit path 1: a refresh failing with proto.ErrClosed (station teardown)
+// ends the loop at that tick.
+func TestKeepRegisteredExitsOnClosedRefresh(t *testing.T) {
+	exited, port := keepRig(t, []error{closedErr()}, nil, 3)
+	if !exited {
+		t.Fatal("loop survived a closed station")
+	}
+	if got := port.callCount(); got != 1 {
+		t.Fatalf("registered %d times after teardown, want 1", got)
+	}
+}
+
+// Exit path 2: a transiently failing refresh (timeout over a degraded
+// link) is retried on the next tick, and the tick callback is skipped
+// for the failed round — its dependent entries wait for a round whose
+// primary refresh landed.
+func TestKeepRegisteredRetriesTransientRefresh(t *testing.T) {
+	ticks := 0
+	transient := errors.New("proto: call MsgRegister to ns timed out")
+	exited, port := keepRig(t, []error{transient, transient, nil}, func() error {
+		ticks++
+		return nil
+	}, 4)
+	if exited {
+		t.Fatal("loop exited on a transient refresh failure")
+	}
+	if got := port.callCount(); got != 4 {
+		t.Fatalf("refreshed %d times over 4 ticks, want 4", got)
+	}
+	if ticks != 2 {
+		t.Fatalf("callback ran %d times, want 2 (skipped while the refresh failed)", ticks)
+	}
+}
+
+// Exit path 3: a callback reporting proto.ErrClosed ends the loop — a
+// memory server whose station died mid-series-sweep must not keep the
+// refresh process alive.
+func TestKeepRegisteredExitsOnClosedCallback(t *testing.T) {
+	calls := 0
+	exited, port := keepRig(t, []error{nil}, func() error {
+		calls++
+		return closedErr()
+	}, 3)
+	if !exited {
+		t.Fatal("loop survived a closed-station callback error")
+	}
+	if calls != 1 || port.callCount() != 1 {
+		t.Fatalf("callback ran %d times over %d refreshes after teardown, want 1/1", calls, port.callCount())
+	}
+}
+
+// Exit path 4: any other callback error is transient — the loop retries
+// the callback on the next tick instead of silently abandoning the
+// dependent registrations (the bug this test pins the fix for).
+func TestKeepRegisteredRetriesTransientCallback(t *testing.T) {
+	calls := 0
+	exited, _ := keepRig(t, []error{nil}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("proto: call MsgRegister to ns timed out")
+		}
+		return nil
+	}, 5)
+	if exited {
+		t.Fatal("loop exited on a transient callback error")
+	}
+	if calls != 5 {
+		t.Fatalf("callback ran %d times over 5 ticks, want 5", calls)
+	}
+}

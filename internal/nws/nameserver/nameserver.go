@@ -120,15 +120,34 @@ func (c *Client) Register(reg proto.Registration) error {
 }
 
 // KeepRegistered re-registers reg at a third of the directory TTL until
-// the station is torn down. Transient failures (a timed-out refresh
-// over a degraded link) are retried on the next tick — one lost refresh
-// must not silently drop a live server from the directory forever —
-// while a closed station ends the loop. Long-lived servers run it on
-// its own runtime process so their directory entry outlives the TTL.
-func (c *Client) KeepRegistered(reg proto.Registration) {
+// the station is torn down: the one registration-refresh loop every
+// long-lived NWS role (memory server, forecaster, gateway) runs on its
+// own runtime process so its directory entry outlives the TTL.
+//
+// onTick, when non-nil, runs after each successful refresh of reg — the
+// hook a role uses to re-advertise dependent directory entries (a
+// memory server re-registering the series it owns). A nil onTick keeps
+// just reg alive.
+//
+// The retry/exit policy lives here and only here. Transient failures —
+// a timed-out refresh over a degraded link, a callback that could not
+// reach the directory — are retried on the next tick: one lost refresh
+// must not silently drop a live server from the directory forever.
+// Only proto.ErrClosed, from the refresh or from the callback, ends the
+// loop: that is the definitive station-teardown signal.
+func (c *Client) KeepRegistered(reg proto.Registration, onTick func() error) {
 	for {
 		c.St.Runtime().Sleep(DefaultTTL / 3)
-		if err := c.Register(reg); errors.Is(err, proto.ErrClosed) {
+		if err := c.Register(reg); err != nil {
+			if errors.Is(err, proto.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if onTick == nil {
+			continue
+		}
+		if err := onTick(); errors.Is(err, proto.ErrClosed) {
 			return
 		}
 	}

@@ -1,0 +1,87 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenSeries is a fixed 64-sample series mixing a pseudo-periodic
+// component with a short sawtooth, chosen so the battery's best member
+// changes hands as history accumulates (ar1 → median21 → exp0.90 →
+// mean51). Purely integer-derived, so it is bit-identical everywhere.
+func goldenSeries(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 50 + 10*float64((i*37)%17)/16 - float64(i%5)
+	}
+	return out
+}
+
+// goldenCheckpoints pins the battery's exact output at several history
+// lengths over goldenSeries. The values were recorded from the battery
+// as it lived inside the forecast package before the extraction into
+// predict: this test is the proof that the move is behavior-preserving,
+// and any future change to a predictor or to the selection rule must
+// update it deliberately.
+var goldenCheckpoints = []struct {
+	n int
+	p Prediction
+}{
+	{n: 8, p: Prediction{Value: 52.664363753213365, Method: "ar1", MAE: 2.4007368298909255, MSE: 10.004423693936994, N: 5}},
+	{n: 16, p: Prediction{Value: 51.5625, Method: "median21", MAE: 2.85, MSE: 14.2515625, N: 15}},
+	{n: 32, p: Prediction{Value: 53.863402288397786, Method: "exp0.90", MAE: 3.232611960603176, MSE: 21.796792367094696, N: 31}},
+	{n: 64, p: Prediction{Value: 52.98039215686274, Method: "mean51", MAE: 3.0584367699128454, MSE: 12.981662711488609, N: 63}},
+}
+
+// close compares floats with a tiny relative tolerance: the arithmetic
+// is deterministic in Go, but architectures differing in fused
+// multiply-add contraction may disagree in the last bits.
+func closeTo(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+func TestGoldenBatteryCheckpoints(t *testing.T) {
+	vals := goldenSeries(64)
+	b := NewBattery()
+	next := 0
+	for i, v := range vals {
+		b.Update(v)
+		if next >= len(goldenCheckpoints) || goldenCheckpoints[next].n != i+1 {
+			continue
+		}
+		want := goldenCheckpoints[next].p
+		got, ok := b.Forecast()
+		if !ok {
+			t.Fatalf("no forecast at n=%d", i+1)
+		}
+		if got.Method != want.Method || got.N != want.N {
+			t.Errorf("n=%d: method/N %s/%d, want %s/%d", i+1, got.Method, got.N, want.Method, want.N)
+		}
+		if !closeTo(got.Value, want.Value) || !closeTo(got.MAE, want.MAE) || !closeTo(got.MSE, want.MSE) {
+			t.Errorf("n=%d: %+v, want %+v", i+1, got, want)
+		}
+		next++
+	}
+	if next != len(goldenCheckpoints) {
+		t.Fatalf("hit %d of %d checkpoints", next, len(goldenCheckpoints))
+	}
+}
+
+// TestGoldenRunMatchesFinalCheckpoint: the Run convenience (what the
+// forecaster role calls per request) must equal replaying the series
+// through a battery by hand.
+func TestGoldenRunMatchesFinalCheckpoint(t *testing.T) {
+	p, ok := Run(goldenSeries(64))
+	if !ok {
+		t.Fatal("no forecast")
+	}
+	want := goldenCheckpoints[len(goldenCheckpoints)-1].p
+	if p.Method != want.Method || p.N != want.N || !closeTo(p.Value, want.Value) ||
+		!closeTo(p.MAE, want.MAE) || !closeTo(p.MSE, want.MSE) {
+		t.Fatalf("Run: %+v, want %+v", p, want)
+	}
+}

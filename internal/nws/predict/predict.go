@@ -1,0 +1,325 @@
+// Package predict is the NWS statistical forecasting core: a battery of
+// simple predictors run in parallel over each measurement series, with
+// the predictor that has accumulated the lowest error chosen to produce
+// the next forecast (Wolski et al., "The Network Weather Service", FGCS
+// 1999 — the forecasting machinery §2.1 of the reproduced paper relies
+// on).
+//
+// predict is a leaf package: it depends on nothing but the standard
+// library, so every layer of the system — the forecaster role
+// (nws/forecast), the query-plane facade (query), the gateway, tools —
+// can share the Prediction vocabulary without import cycles. The
+// deployable forecaster server lives in nws/forecast; this package is
+// pure computation.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Predictor produces one-step-ahead forecasts from a stream of values.
+type Predictor interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Predict returns the forecast for the next value; ok is false while
+	// the method has insufficient history.
+	Predict() (v float64, ok bool)
+	// Observe feeds the actual next value.
+	Observe(v float64)
+}
+
+// ---- Individual predictors ----
+
+type lastValue struct {
+	v   float64
+	has bool
+}
+
+func (p *lastValue) Name() string { return "last" }
+func (p *lastValue) Predict() (float64, bool) {
+	return p.v, p.has
+}
+func (p *lastValue) Observe(v float64) { p.v, p.has = v, true }
+
+type runningMean struct {
+	sum float64
+	n   int
+}
+
+func (p *runningMean) Name() string { return "run_mean" }
+func (p *runningMean) Predict() (float64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	return p.sum / float64(p.n), true
+}
+func (p *runningMean) Observe(v float64) { p.sum += v; p.n++ }
+
+type window struct {
+	buf  []float64
+	size int
+}
+
+func (w *window) push(v float64) {
+	w.buf = append(w.buf, v)
+	if len(w.buf) > w.size {
+		w.buf = w.buf[1:]
+	}
+}
+
+type slidingMean struct{ window }
+
+func (p *slidingMean) Name() string { return fmt.Sprintf("mean%d", p.size) }
+func (p *slidingMean) Predict() (float64, bool) {
+	if len(p.buf) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, v := range p.buf {
+		s += v
+	}
+	return s / float64(len(p.buf)), true
+}
+func (p *slidingMean) Observe(v float64) { p.push(v) }
+
+type slidingMedian struct{ window }
+
+func (p *slidingMedian) Name() string { return fmt.Sprintf("median%d", p.size) }
+func (p *slidingMedian) Predict() (float64, bool) {
+	n := len(p.buf)
+	if n == 0 {
+		return 0, false
+	}
+	tmp := append([]float64(nil), p.buf...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2], true
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2, true
+}
+func (p *slidingMedian) Observe(v float64) { p.push(v) }
+
+type trimmedMean struct {
+	window
+	trim float64 // fraction trimmed at each end
+}
+
+func (p *trimmedMean) Name() string { return fmt.Sprintf("trim%d", p.size) }
+func (p *trimmedMean) Predict() (float64, bool) {
+	n := len(p.buf)
+	if n == 0 {
+		return 0, false
+	}
+	tmp := append([]float64(nil), p.buf...)
+	sort.Float64s(tmp)
+	k := int(float64(n) * p.trim)
+	tmp = tmp[k : n-k]
+	if len(tmp) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, v := range tmp {
+		s += v
+	}
+	return s / float64(len(tmp)), true
+}
+func (p *trimmedMean) Observe(v float64) { p.push(v) }
+
+type expSmooth struct {
+	gain float64
+	v    float64
+	has  bool
+}
+
+func (p *expSmooth) Name() string { return fmt.Sprintf("exp%.2f", p.gain) }
+func (p *expSmooth) Predict() (float64, bool) {
+	return p.v, p.has
+}
+func (p *expSmooth) Observe(v float64) {
+	if !p.has {
+		p.v, p.has = v, true
+		return
+	}
+	p.v = p.gain*v + (1-p.gain)*p.v
+}
+
+// ar1 is an online first-order autoregressive model x_t ≈ a·x_{t-1} + b,
+// fit by accumulating least-squares sums.
+type ar1 struct {
+	prev          float64
+	hasPrev       bool
+	n             float64
+	sx, sy        float64
+	sxx, sxy      float64
+	lastGoodSlope float64
+}
+
+func (p *ar1) Name() string { return "ar1" }
+func (p *ar1) Predict() (float64, bool) {
+	if p.n < 2 {
+		return 0, false
+	}
+	den := p.n*p.sxx - p.sx*p.sx
+	var a, b float64
+	if math.Abs(den) < 1e-12 {
+		a, b = 0, p.sy/p.n
+	} else {
+		a = (p.n*p.sxy - p.sx*p.sy) / den
+		b = (p.sy - a*p.sx) / p.n
+	}
+	// Clamp runaway slopes: AR(1) on short noisy series can explode.
+	if a > 2 || a < -2 {
+		a = p.lastGoodSlope
+		b = p.sy/p.n - a*p.sx/p.n
+	}
+	return a*p.prev + b, true
+}
+func (p *ar1) Observe(v float64) {
+	if p.hasPrev {
+		p.n++
+		p.sx += p.prev
+		p.sy += v
+		p.sxx += p.prev * p.prev
+		p.sxy += p.prev * v
+	}
+	p.prev, p.hasPrev = v, true
+}
+
+// ---- Battery ----
+
+// Prediction is the battery's answer for the next value of a series.
+type Prediction struct {
+	Value float64
+	// Method is the predictor that produced Value (lowest cumulative MAE).
+	Method string
+	// MAE and MSE are the chosen method's cumulative error statistics.
+	MAE float64
+	MSE float64
+	// N is the number of observations scored so far.
+	N int
+}
+
+type member struct {
+	p        Predictor
+	absErr   float64
+	sqErr    float64
+	nsamples int
+}
+
+// Battery runs the full NWS predictor set in parallel and forecasts with
+// the historically most accurate member.
+type Battery struct {
+	members []*member
+	n       int
+}
+
+// NewBattery assembles the standard predictor set: last value, running
+// mean, sliding means/medians over several windows, a trimmed mean,
+// exponential smoothing at several gains, and AR(1).
+func NewBattery() *Battery {
+	ps := []Predictor{
+		&lastValue{},
+		&runningMean{},
+		&slidingMean{window{size: 5}},
+		&slidingMean{window{size: 10}},
+		&slidingMean{window{size: 21}},
+		&slidingMean{window{size: 51}},
+		&slidingMedian{window{size: 5}},
+		&slidingMedian{window{size: 21}},
+		&slidingMedian{window{size: 51}},
+		&trimmedMean{window: window{size: 31}, trim: 0.1},
+		&expSmooth{gain: 0.05},
+		&expSmooth{gain: 0.1},
+		&expSmooth{gain: 0.3},
+		&expSmooth{gain: 0.5},
+		&expSmooth{gain: 0.9},
+		&ar1{},
+	}
+	b := &Battery{}
+	for _, p := range ps {
+		b.members = append(b.members, &member{p: p})
+	}
+	return b
+}
+
+// Update scores every predictor against the actual value v, then feeds v
+// to all of them.
+func (b *Battery) Update(v float64) {
+	for _, m := range b.members {
+		if pred, ok := m.p.Predict(); ok {
+			e := pred - v
+			m.absErr += math.Abs(e)
+			m.sqErr += e * e
+			m.nsamples++
+		}
+		m.p.Observe(v)
+	}
+	b.n++
+}
+
+// N returns the number of observations consumed.
+func (b *Battery) N() int { return b.n }
+
+// Forecast returns the prediction of the member with the lowest mean
+// absolute error so far. ok is false until at least one member can
+// predict.
+func (b *Battery) Forecast() (Prediction, bool) {
+	var best *member
+	var bestMAE float64
+	for _, m := range b.members {
+		if _, can := m.p.Predict(); !can {
+			continue
+		}
+		mae := math.Inf(1)
+		if m.nsamples > 0 {
+			mae = m.absErr / float64(m.nsamples)
+		}
+		if best == nil || mae < bestMAE {
+			best, bestMAE = m, mae
+		}
+	}
+	if best == nil {
+		return Prediction{}, false
+	}
+	v, _ := best.p.Predict()
+	pred := Prediction{Value: v, Method: best.p.Name(), N: best.nsamples}
+	if best.nsamples > 0 {
+		pred.MAE = best.absErr / float64(best.nsamples)
+		pred.MSE = best.sqErr / float64(best.nsamples)
+	}
+	return pred, true
+}
+
+// MethodError returns the cumulative MAE of a named member (for tests
+// and the forecaster-accuracy experiment); ok is false for unknown names
+// or unscored members.
+func (b *Battery) MethodError(name string) (mae float64, ok bool) {
+	for _, m := range b.members {
+		if m.p.Name() == name && m.nsamples > 0 {
+			return m.absErr / float64(m.nsamples), true
+		}
+	}
+	return 0, false
+}
+
+// Methods lists member names in battery order.
+func (b *Battery) Methods() []string {
+	out := make([]string, 0, len(b.members))
+	for _, m := range b.members {
+		out = append(out, m.p.Name())
+	}
+	return out
+}
+
+// Run replays a whole series through a fresh battery and returns the
+// final one-step forecast; convenient for request/reply forecasters that
+// fetch history from a memory server.
+func Run(values []float64) (Prediction, bool) {
+	b := NewBattery()
+	for _, v := range values {
+		b.Update(v)
+	}
+	return b.Forecast()
+}

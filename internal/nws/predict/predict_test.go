@@ -1,4 +1,4 @@
-package forecast
+package predict
 
 import (
 	"math"

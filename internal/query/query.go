@@ -22,8 +22,8 @@ import (
 	"sync"
 	"time"
 
-	"nwsenv/internal/nws/forecast"
 	"nwsenv/internal/nws/nameserver"
+	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 )
 
@@ -50,12 +50,12 @@ const (
 	// series directory for a couple of names.
 	bulkThreshold = 4
 
-	// negativeTTL bounds how long a lookup miss is cached. Much shorter
+	// NegativeTTL bounds how long a lookup miss is cached. Much shorter
 	// than the positive TTL: a missing series is often one that is
 	// about to appear (a deployment still warming up, a just-migrated
 	// backend), and a long negative window would hide it exactly when a
 	// client is polling for it.
-	negativeTTL = 5 * time.Second
+	NegativeTTL = 5 * time.Second
 
 	// maxForecastEntries caps the per-series forecast cache of one
 	// client. A gateway's client lives for the whole deployment and is
@@ -74,7 +74,7 @@ type Result struct {
 // ForecastResult is one series' answer from ForecastMany.
 type ForecastResult struct {
 	Series     string
-	Prediction forecast.Prediction
+	Prediction predict.Prediction
 	Err        error
 }
 
@@ -135,7 +135,7 @@ type regEntry struct {
 }
 
 type fcEntry struct {
-	pred    forecast.Prediction
+	pred    predict.Prediction
 	expires time.Duration
 }
 
@@ -307,7 +307,7 @@ func (c *Client) resolve(series string, bulkHint bool) (proto.Registration, erro
 	// A fresh bulk view that does not contain the series settles it as
 	// unknown — for the short negative window only, so a series that
 	// registers moments later is picked up promptly.
-	if bulkHint && c.bulkFresh && c.bulkAt+negativeTTL > now {
+	if bulkHint && c.bulkFresh && c.bulkAt+NegativeTTL > now {
 		return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
 	}
 	key := "name:" + series
@@ -347,7 +347,7 @@ func (c *Client) resolve(series string, bulkHint bool) (proto.Registration, erro
 		if err == nil {
 			ttl := c.ttl
 			if !found {
-				ttl = negativeTTL
+				ttl = NegativeTTL
 			}
 			c.series[series] = regEntry{reg: reg, missing: !found, expires: c.rt.Now() + ttl}
 		}
@@ -484,7 +484,7 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 
 // Forecast predicts the next value of one series (history <= 0: the
 // forecaster's default window), through the per-series forecast cache.
-func (c *Client) Forecast(series string, history int) (forecast.Prediction, error) {
+func (c *Client) Forecast(series string, history int) (predict.Prediction, error) {
 	res := c.ForecastMany([]proto.SeriesRequest{{Series: series, Count: history}})
 	return res[0].Prediction, res[0].Err
 }
@@ -567,7 +567,7 @@ func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
 				results[i].Err = CodedError(f.Code, fmt.Sprintf("forecaster %s: %s", host, f.Error))
 				continue
 			}
-			results[i].Prediction = forecast.Prediction{
+			results[i].Prediction = predict.Prediction{
 				Value: f.Value, MAE: f.MAE, MSE: f.MSE, Method: f.Method, N: f.Count,
 			}
 			if c.forecastTTL > 0 {

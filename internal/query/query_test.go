@@ -1,4 +1,4 @@
-package query
+package query_test
 
 import (
 	"errors"
@@ -11,6 +11,7 @@ import (
 	"nwsenv/internal/nws/memory"
 	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/query"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/vclock"
 )
@@ -147,7 +148,7 @@ func (r *rig) run(t *testing.T, fn func()) {
 func TestFetchManyOneRoundTripPerBackend(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
-	qc := New(r.st, "ns")
+	qc := query.New(r.st, "ns")
 	reqs := []proto.SeriesRequest{
 		{Series: "a1", Count: 1}, {Series: "b1", Count: 1}, {Series: "a2", Count: 1},
 		{Series: "b2", Count: 1}, {Series: "a3", Count: 1},
@@ -195,7 +196,7 @@ func TestFetchManyOneRoundTripPerBackend(t *testing.T) {
 func TestFetchSemantics(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
-	qc := New(r.st, "ns")
+	qc := query.New(r.st, "ns")
 	r.run(t, func() {
 		// n <= 0: the full retained window.
 		all, err := qc.Fetch("a1", 0)
@@ -212,11 +213,11 @@ func TestFetchSemantics(t *testing.T) {
 		}
 		// Unknown series is a structured error, and the miss is cached:
 		// repeating the query within the TTL costs no directory traffic.
-		if _, err := qc.Fetch("nope", 1); !errors.Is(err, ErrSeriesUnknown) {
+		if _, err := qc.Fetch("nope", 1); !errors.Is(err, query.ErrSeriesUnknown) {
 			t.Errorf("unknown series: %v", err)
 		}
 		lookups := qc.Stats().LookupCalls
-		if _, err := qc.Fetch("nope", 1); !errors.Is(err, ErrSeriesUnknown) {
+		if _, err := qc.Fetch("nope", 1); !errors.Is(err, query.ErrSeriesUnknown) {
 			t.Errorf("unknown series (cached): %v", err)
 		}
 		if got := qc.Stats().LookupCalls; got != lookups {
@@ -230,7 +231,7 @@ func TestFetchSemantics(t *testing.T) {
 func TestBackendDownIsPerSeries(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
-	qc := New(r.st, "ns", WithTimeout(5*time.Second))
+	qc := query.New(r.st, "ns", query.WithTimeout(5*time.Second))
 	reqs := []proto.SeriesRequest{{Series: "a1", Count: 1}, {Series: "b1", Count: 1}}
 	r.run(t, func() { qc.FetchMany(reqs) }) // warm the discovery cache
 	r.tr.SetDown("m2", true)
@@ -239,7 +240,7 @@ func TestBackendDownIsPerSeries(t *testing.T) {
 		if res[0].Err != nil {
 			t.Errorf("healthy backend failed: %v", res[0].Err)
 		}
-		if !errors.Is(res[1].Err, ErrBackendDown) {
+		if !errors.Is(res[1].Err, query.ErrBackendDown) {
 			t.Errorf("dead backend: %v", res[1].Err)
 		}
 	})
@@ -259,7 +260,7 @@ func TestBackendDownIsPerSeries(t *testing.T) {
 func TestLookupSingleflight(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
-	qc := New(r.st, "ns")
+	qc := query.New(r.st, "ns")
 	r.run(t, func() {
 		done := r.st.Runtime().NewInbox("collect")
 		for i := 0; i < 8; i++ {
@@ -282,7 +283,7 @@ func TestLookupSingleflight(t *testing.T) {
 func TestForecastManyAndCache(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
-	qc := New(r.st, "ns", WithForecastTTL(30*time.Second))
+	qc := query.New(r.st, "ns", query.WithForecastTTL(30*time.Second))
 	reqs := []proto.SeriesRequest{{Series: "a1"}, {Series: "b1"}}
 	r.run(t, func() {
 		res := qc.ForecastMany(reqs)
@@ -323,7 +324,7 @@ func TestForecastManyAndCache(t *testing.T) {
 	}
 	// Unknown series surfaces the structured error through the batch.
 	r.run(t, func() {
-		if _, err := qc.Forecast("nope", 0); !errors.Is(err, ErrSeriesUnknown) {
+		if _, err := qc.Forecast("nope", 0); !errors.Is(err, query.ErrSeriesUnknown) {
 			t.Errorf("unknown forecast: %v", err)
 		}
 	})
@@ -334,7 +335,7 @@ func TestForecastManyAndCache(t *testing.T) {
 func TestWorkerPoolBounded(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
-	qc := New(r.st, "ns", WithWorkers(1))
+	qc := query.New(r.st, "ns", query.WithWorkers(1))
 	r.run(t, func() {
 		res := qc.FetchMany([]proto.SeriesRequest{
 			{Series: "a1", Count: 1}, {Series: "b1", Count: 1}, {Series: "a2", Count: 1},

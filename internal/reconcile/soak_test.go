@@ -1,0 +1,148 @@
+package reconcile
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"nwsenv/internal/core"
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/simnet"
+)
+
+// TestSoakChurnResolutionPlane is the resolution-plane soak: seeded
+// crash/restore churn of the memory-server hosts and the forecaster's
+// host (the master — its crash re-homes NS, forecaster and gateway)
+// under the reconcile loop, asserting that
+//
+//   - forecasts keep flowing through the unified query plane between
+//     repairs and after convergence: every probe round builds a fresh
+//     query.Client against the *current* deployment and must get at
+//     least one prediction; the final steady-state round must answer
+//     every probed pair; and
+//   - no resolver process leaks: after the loop is cancelled and the
+//     deployment stopped, every process — query fan-out workers,
+//     singleflight flights, and the KeepRegistered refresh loops of
+//     memory servers, forecaster and gateway (which notice teardown on
+//     their next tick) — drains to zero on the virtual-clock scheduler.
+//
+// CI runs it under the race detector at the default (short) horizon of
+// one churn pass per victim; NWSENV_SOAK_PASSES extends the churn for
+// longer local soaks.
+func TestSoakChurnResolutionPlane(t *testing.T) {
+	passes := 1
+	if v, err := strconv.Atoi(os.Getenv("NWSENV_SOAK_PASSES")); err == nil && v > 0 {
+		passes = v
+	}
+
+	e := deployLAN(t, 13, 3, 3)
+	base := e.sim.Now()
+	plan := e.out.Plan
+
+	// Victims: up to two non-master memory-server hosts, then the
+	// forecaster's host (re-homing leg). Node IDs for the fault injector.
+	var victims []string
+	for _, m := range plan.MemoryServers {
+		if m != plan.Master && len(victims) < 2 {
+			victims = append(victims, e.out.Resolve[m])
+		}
+	}
+	victims = append(victims, e.out.Resolve[plan.Forecaster])
+	onePass := append([]string(nil), victims...)
+	for p := 1; p < passes; p++ {
+		victims = append(victims, onePass...)
+	}
+
+	const (
+		churnStart    = 4 * time.Minute
+		churnInterval = 8 * time.Minute
+		churnDownFor  = 3 * time.Minute
+	)
+	scen := simnet.ChurnScenario(victims, base+churnStart, churnInterval, churnDownFor)
+	scenRun := scen.Schedule(e.net)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := New(e.pl, e.out.Deployment, Config{Runs: []core.MapRun{e.run}, Interval: 2 * time.Minute})
+	recDone := false
+	e.sim.Go("reconcile", func() { rec.Run(ctx); recDone = true })
+
+	// probe forecasts up to four measured pairs of the current plan
+	// through a fresh query client on the current master's station,
+	// returning how many answered.
+	probe := func(label string) (got, want int) {
+		dep := rec.Deployment()
+		st := dep.Agents[dep.Plan.Master].Station()
+		pairs := dep.Plan.MeasuredPairs()
+		if len(pairs) > 4 {
+			pairs = pairs[:4]
+		}
+		var reqs []proto.SeriesRequest
+		for _, p := range pairs {
+			reqs = append(reqs, proto.SeriesRequest{Series: sensor.LatencySeries(dep.Resolve[p[0]], dep.Resolve[p[1]])})
+		}
+		done := false
+		e.sim.Go("probe:"+label, func() {
+			defer func() { done = true }()
+			qc := dep.QueryClient(st)
+			for _, r := range qc.ForecastMany(reqs) {
+				if r.Err == nil && r.Prediction.N > 0 {
+					got++
+				}
+			}
+		})
+		deadline := e.sim.Now() + 5*time.Minute
+		for at := e.sim.Now() + 10*time.Second; !done && at <= deadline; at += 10 * time.Second {
+			advance(t, e.sim, at)
+		}
+		if !done {
+			t.Fatalf("probe %s wedged", label)
+		}
+		return got, len(reqs)
+	}
+
+	// Warm-up: the cliques have measured, the plane must answer.
+	advance(t, e.sim, base+3*time.Minute)
+	if got, want := probe("warmup"); got == 0 {
+		t.Fatalf("no forecasts flowing before churn (0/%d)", want)
+	}
+
+	// One probe after each victim's crash+restore cycle has been
+	// repaired and folded back (crash at +i*interval, restore +3m,
+	// reconcile interval 2m: by +6m the plan is whole again).
+	for i := range victims {
+		at := base + churnStart + time.Duration(i)*churnInterval + 6*time.Minute
+		advance(t, e.sim, at)
+		got, want := probe(fmt.Sprintf("churn-%d", i))
+		if got == 0 {
+			t.Fatalf("forecasts stopped flowing after churn round %d (0/%d)", i, want)
+		}
+	}
+
+	// Steady state: every probed pair must answer.
+	advance(t, e.sim, e.sim.Now()+4*time.Minute)
+	if got, want := probe("final"); got < want {
+		t.Fatalf("steady-state forecasts incomplete: %d/%d", got, want)
+	}
+	if inj := len(scenRun.Injected()); inj != 2*len(victims) {
+		t.Fatalf("scenario injected %d events, want %d", inj, 2*len(victims))
+	}
+
+	// Teardown + the goroutine-count guard: cancel the loop, stop the
+	// current deployment, then advance past a full registration-refresh
+	// tick so every KeepRegistered loop wakes, sees ErrClosed and exits.
+	cancel()
+	advance(t, e.sim, e.sim.Now()+3*time.Minute)
+	if !recDone {
+		t.Fatal("reconcile loop did not exit after cancel")
+	}
+	rec.Deployment().Stop()
+	advance(t, e.sim, e.sim.Now()+12*time.Minute)
+	if n := e.sim.Processes(); n != 0 {
+		t.Fatalf("%d processes still alive after Stop: resolver/refresh leak", n)
+	}
+}
