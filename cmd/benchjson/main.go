@@ -25,6 +25,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -100,6 +101,11 @@ func main() {
 		report, regressed, err := compareArtifacts(files[0], files[1], *threshold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+				fmt.Fprintf(os.Stderr, "benchjson: no baseline yet? record one first:\n")
+				fmt.Fprintf(os.Stderr, "benchjson:   benchjson -o %s ./...\n", files[0])
+				fmt.Fprintf(os.Stderr, "benchjson: then re-run -compare against a fresh artifact\n")
+			}
 			os.Exit(1)
 		}
 		fmt.Print(report)

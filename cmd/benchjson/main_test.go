@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +87,25 @@ func TestCompareArtifactsMissingBenchmark(t *testing.T) {
 	}
 	if !strings.Contains(report, "MISSING") {
 		t.Errorf("report should flag the missing benchmark:\n%s", report)
+	}
+}
+
+func TestCompareArtifactsMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	_, _, err := compareArtifacts(filepath.Join(dir, "absent.json"), newPath, 0.25)
+	if err == nil {
+		t.Fatal("missing baseline must error")
+	}
+	// main keys the "record a baseline first" hint off ErrNotExist; the
+	// error must keep satisfying it through any wrapping.
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing baseline error %v does not unwrap to os.ErrNotExist", err)
+	}
+	if !strings.Contains(err.Error(), "absent.json") {
+		t.Fatalf("error should name the missing file: %v", err)
 	}
 }
 

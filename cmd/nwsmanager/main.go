@@ -24,11 +24,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -45,6 +46,7 @@ import (
 	"nwsenv/internal/platform"
 	"nwsenv/internal/query"
 	"nwsenv/internal/reconcile"
+	"nwsenv/internal/scenlab"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
@@ -61,7 +63,8 @@ func main() {
 	query := flag.String("query", "", "host pair to estimate afterwards: from,to")
 	pairwise := flag.Bool("pairwise", false, "drive switched cliques with the pairwise scheduler (§6 relaxation)")
 	watch := flag.Bool("watch", false, "run the self-healing reconcile loop over the deployment")
-	scenario := flag.String("scenario", "none", "with -watch on a topo: fault scenario (none, crash, partition, degrade, churn, mixed)")
+	scenario := flag.String("scenario", "none", "with -watch on a topo: fault scenario — a name resolved in -scenarios (crash, partition, ...), a .json path, or none")
+	scenarioDir := flag.String("scenarios", "scenarios", "directory of declarative scenario files -scenario names resolve in")
 	seed := flag.Int64("seed", 42, "seed for all scenario randomness (fault timing, victim choice, churn order)")
 	interval := flag.Duration("reconcile-interval", 2*time.Minute, "reconcile round period (virtual, or wall-clock with -tcp)")
 	flag.Parse()
@@ -91,7 +94,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *watch {
-		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *seed, *pairwise, observer)
+		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, observer)
 		return
 	}
 	if *auto {
@@ -151,7 +154,7 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 // out: §4.3's platform evolution end to end. It exits non-zero when the
 // loop has not converged on a valid deployment by the end (unless it
 // was interrupted).
-func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario string, seed int64, pairwise bool, observer core.Option) {
+func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
@@ -178,7 +181,7 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	}
 
 	base := sim.Now()
-	scen, err := buildScenario(scenario, seed, base, interval, net.Topology(), out)
+	scen, err := buildScenario(scenario, scenarioDir, seed, base, net.Topology(), out)
 	check(err)
 	var scenRun *simnet.ScenarioRun
 	if len(scen.Events) > 0 {
@@ -247,67 +250,41 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	}
 }
 
-// buildScenario derives a deterministic fault schedule for the deployed
-// system. All randomness (victim choice, timing jitter) flows from the
-// seed, so a given (topology, scenario, seed) triple replays the same
-// faults. The master is never a victim: reconciliation of a dead master
-// is exercised by the test suite, while the command-line scenarios keep
-// the narrator alive.
-func buildScenario(name string, seed int64, base, interval time.Duration, tp *simnet.Topology, out *core.Outcome) (simnet.Scenario, error) {
+// buildScenario compiles a declarative scenario file's fault plan
+// against the deployed system. The name resolves to <dir>/<name>.json
+// unless it already looks like a path; an unknown name lists what the
+// scenario directory offers. Victim derivation and all randomness flow
+// from the seed exactly as in the scenario lab, so a given (topology,
+// scenario file, seed) triple replays the same faults, and the master
+// is never a victim.
+func buildScenario(name, dir string, seed int64, base time.Duration, tp *simnet.Topology, out *core.Outcome) (simnet.Scenario, error) {
 	if name == "" || name == "none" {
 		return simnet.Scenario{Name: "none"}, nil
 	}
-	// Deterministic victim candidates: plan hosts (sorted canonical
-	// names) resolved to node IDs, minus the master.
-	var victims []string
-	for _, h := range out.Plan.Hosts {
-		if h == out.Plan.Master {
-			continue
-		}
-		if id, ok := out.Resolve[h]; ok {
-			victims = append(victims, id)
-		}
+	path := name
+	if !strings.ContainsRune(name, os.PathSeparator) && !strings.HasSuffix(name, ".json") {
+		path = filepath.Join(dir, name+".json")
 	}
+	f, err := scenlab.LoadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			if paths, lerr := scenlab.ListDir(dir); lerr == nil && len(paths) > 0 {
+				names := make([]string, len(paths))
+				for i, p := range paths {
+					names[i] = strings.TrimSuffix(filepath.Base(p), ".json")
+				}
+				return simnet.Scenario{}, fmt.Errorf(
+					"unknown scenario %q: %s/ offers %s", name, dir, strings.Join(names, ", "))
+			}
+			return simnet.Scenario{}, fmt.Errorf("unknown scenario %q (no scenario files under %s/)", name, dir)
+		}
+		return simnet.Scenario{}, err
+	}
+	victims, links := scenlab.PlanVictims(out.Plan, out.Resolve, tp)
 	if len(victims) == 0 {
-		return simnet.Scenario{}, fmt.Errorf("scenario %s: no non-master victims", name)
+		return simnet.Scenario{}, fmt.Errorf("scenario %s: no non-master victims", f.Spec.Name)
 	}
-	// Candidate links: each victim's first access link.
-	var links [][2]string
-	for _, id := range victims {
-		for _, l := range tp.Links() {
-			if l.A == id {
-				links = append(links, [2]string{l.A, l.B})
-				break
-			}
-			if l.B == id {
-				links = append(links, [2]string{l.B, l.A})
-				break
-			}
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	start := base + interval
-	heal := 2 * interval
-	switch name {
-	case "crash":
-		return simnet.CrashScenario(victims[rng.Intn(len(victims))], start, heal), nil
-	case "partition":
-		l := links[rng.Intn(len(links))]
-		return simnet.PartitionScenario(l[0], l[1], start, heal), nil
-	case "degrade":
-		l := links[rng.Intn(len(links))]
-		return simnet.DegradeScenario(l[0], l[1], 0.5, start, heal), nil
-	case "churn":
-		n := 3
-		if n > len(victims) {
-			n = len(victims)
-		}
-		rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
-		return simnet.ChurnScenario(victims[:n], start, 3*interval, heal), nil
-	case "mixed":
-		return simnet.MixedScenario(seed, victims, links, start, 4*interval, heal, 3), nil
-	}
-	return simnet.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	return f.Spec.Fault.Compile(seed, base, victims, links)
 }
 
 // runTCP drives the staged pipeline over real loopback TCP sockets: the

@@ -1,0 +1,144 @@
+// Command scenlab runs the declarative scenario lab: data-defined
+// fault scenarios with fixed seeds and phased execution (warmup →
+// inject → recovery), per-run artifacts with provenance, and SLO
+// assertions promoted to CI release gates.
+//
+//	scenlab run -scenario scenarios/crash.json -out lab-artifacts
+//	scenlab matrix -dir scenarios -out lab-artifacts -reruns 2
+//	scenlab gate -dir lab-artifacts
+//
+// run executes one scenario file; matrix executes every *.json in a
+// directory, -reruns N times each (rerun k runs with seed+k-1, so the
+// reruns measure cross-seed variance — the same seed is byte-identical
+// by construction). Each run writes samples.jsonl, summary.json and
+// provenance.json under <out>/<scenario>/run-<k>/. Both exit non-zero
+// when any SLO gate fails. gate re-evaluates previously written
+// summaries (the m5gate-style release check over committed artifacts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nwsenv/internal/scenlab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "matrix":
+		cmdMatrix(os.Args[2:])
+	case "gate":
+		cmdGate(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scenlab: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scenlab run    -scenario <file.json> [-out dir] [-seed N]
+  scenlab matrix [-dir scenarios] [-out dir] [-reruns N]
+  scenlab gate   [-dir dir]`)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario file (required)")
+	out := fs.String("out", "lab-artifacts", "artifact output directory")
+	seed := fs.Int64("seed", 0, "override the file's seed (0 = use the file's)")
+	fs.Parse(args)
+	if *scenario == "" {
+		fmt.Fprintln(os.Stderr, "scenlab run: -scenario is required")
+		os.Exit(2)
+	}
+	f, err := scenlab.LoadFile(*scenario)
+	check(err)
+	if !runOne(f, *out, effectiveSeed(f, *seed), 1) {
+		os.Exit(1)
+	}
+}
+
+func cmdMatrix(args []string) {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	dir := fs.String("dir", "scenarios", "directory of scenario *.json files")
+	out := fs.String("out", "lab-artifacts", "artifact output directory")
+	reruns := fs.Int("reruns", 1, "runs per scenario (rerun k uses seed+k-1)")
+	fs.Parse(args)
+	if *reruns < 1 {
+		*reruns = 1
+	}
+	files, err := scenlab.LoadDir(*dir)
+	check(err)
+	ok := true
+	for _, f := range files {
+		for k := 1; k <= *reruns; k++ {
+			ok = runOne(f, *out, f.Spec.Seed+int64(k-1), k) && ok
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "scenlab: SLO gate breached — see the FAIL runs above")
+		os.Exit(1)
+	}
+	fmt.Printf("scenlab: matrix passed (%d scenario(s) x %d rerun(s))\n", len(files), *reruns)
+}
+
+func cmdGate(args []string) {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	dir := fs.String("dir", "lab-artifacts", "artifact directory holding summary.json files")
+	fs.Parse(args)
+	rep, err := scenlab.Gate(*dir)
+	check(err)
+	fmt.Print(rep)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+// runOne executes one (scenario, seed) run, writes its artifacts and
+// prints the verdict. It returns whether the SLO gates passed.
+func runOne(f *scenlab.File, outDir string, seed int64, rerun int) bool {
+	res, err := scenlab.Run(f.Spec, seed)
+	check(err)
+	dir := filepath.Join(outDir, f.Spec.Name, fmt.Sprintf("run-%d", rerun))
+	sum, err := scenlab.WriteArtifacts(dir, res, scenlab.NewProvenance(f, seed, rerun))
+	check(err)
+	verdict := "PASS"
+	if !sum.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%-4s %-24s seed=%-12d %2d round(s) %2d repair(s) p95 %.0fs gap %d tick(s) -> %s\n",
+		verdict, f.Spec.Name, seed, sum.Rounds, sum.Repairs, sum.RecoveryP95Sec,
+		sum.MaxForecastGapTicks, dir)
+	for _, g := range sum.Gates {
+		if !g.Pass {
+			fmt.Printf("     BREACH %-30s want %-38s got %s\n", g.Name, g.Threshold, g.Measured)
+		}
+	}
+	return sum.Pass
+}
+
+func effectiveSeed(f *scenlab.File, override int64) int64 {
+	if override != 0 {
+		return override
+	}
+	return f.Spec.Seed
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenlab:", err)
+		os.Exit(1)
+	}
+}

@@ -151,9 +151,16 @@ func (d *Deployment) ApplyDelta(ctx context.Context, newPlan *Plan, newResolve m
 	for name, node := range newResolve {
 		d.reverse[node] = name
 	}
+	// Start the rebuilt agents in plan-host order, not map order: the
+	// scenario lab replays runs byte-for-byte, so repair must not be
+	// the one step that launches processes in a random order.
 	for name, ag := range agents {
 		d.Agents[name] = ag
-		ag.Start()
+	}
+	for _, name := range newPlan.Hosts {
+		if ag, fresh := agents[name]; fresh {
+			ag.Start()
+		}
 	}
 	return rep, nil
 }

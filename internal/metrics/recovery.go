@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -52,9 +54,11 @@ type RecoveryReport struct {
 	// (either still converging, or — for degradations — correctly
 	// requiring no structural change).
 	Unrepaired int
-	// MeanTimeToDetect / MaxTimeToRepair summarize latencies.
+	// MeanTimeToDetect / MaxTimeToRepair / P95TimeToRepair summarize
+	// latencies.
 	MeanTimeToDetect time.Duration
 	MaxTimeToRepair  time.Duration
+	P95TimeToRepair  time.Duration
 	// TotalRedeployed sums components touched across repairs.
 	TotalRedeployed int
 	// MaxRedeployFraction is the worst single-repair fraction; < 1
@@ -63,11 +67,19 @@ type RecoveryReport struct {
 }
 
 // SummarizeRecovery folds repairs into a report.
+//
+// An empty repair set is well-defined, not degenerate: a run whose
+// faults were all non-disruptive (or fault-free) yields the zero
+// report — every latency, fraction and percentile is exactly zero,
+// never NaN or a division artifact — so SLO gates comparing against
+// upper bounds pass trivially instead of tripping on garbage.
 func SummarizeRecovery(repairs []Repair, unrepaired int) RecoveryReport {
 	rep := RecoveryReport{Repairs: repairs, Unrepaired: unrepaired}
 	var detectSum time.Duration
+	var ttrs []time.Duration
 	for _, r := range repairs {
 		detectSum += r.TimeToDetect()
+		ttrs = append(ttrs, r.TimeToRepair())
 		if ttr := r.TimeToRepair(); ttr > rep.MaxTimeToRepair {
 			rep.MaxTimeToRepair = ttr
 		}
@@ -79,7 +91,29 @@ func SummarizeRecovery(repairs []Repair, unrepaired int) RecoveryReport {
 	if len(repairs) > 0 {
 		rep.MeanTimeToDetect = detectSum / time.Duration(len(repairs))
 	}
+	rep.P95TimeToRepair = DurationPercentile(ttrs, 0.95)
 	return rep
+}
+
+// DurationPercentile returns the p-th percentile (nearest-rank) of ds;
+// an empty input yields 0, p is clamped to [0, 1].
+func DurationPercentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // String renders the report as an operator table.
@@ -92,9 +126,9 @@ func (r RecoveryReport) String() string {
 			rp.TimeToRepair().Round(time.Millisecond), rp.Redeployed, rp.Total)
 	}
 	if len(r.Repairs) > 0 {
-		fmt.Fprintf(&b, "  mean time-to-detect %s, max time-to-repair %s, worst redeploy fraction %.2f\n",
-			r.MeanTimeToDetect.Round(time.Millisecond), r.MaxTimeToRepair.Round(time.Millisecond),
-			r.MaxRedeployFraction)
+		fmt.Fprintf(&b, "  mean time-to-detect %s, p95/max time-to-repair %s/%s, worst redeploy fraction %.2f\n",
+			r.MeanTimeToDetect.Round(time.Millisecond), r.P95TimeToRepair.Round(time.Millisecond),
+			r.MaxTimeToRepair.Round(time.Millisecond), r.MaxRedeployFraction)
 	}
 	return b.String()
 }

@@ -42,8 +42,49 @@ func TestSummarizeRecovery(t *testing.T) {
 
 func TestSummarizeRecoveryEmpty(t *testing.T) {
 	rep := SummarizeRecovery(nil, 0)
-	if rep.MeanTimeToDetect != 0 || rep.MaxTimeToRepair != 0 || rep.MaxRedeployFraction != 0 {
-		t.Fatalf("empty summary %+v", rep)
+	if rep.MeanTimeToDetect != 0 || rep.MaxTimeToRepair != 0 || rep.P95TimeToRepair != 0 {
+		t.Fatalf("empty summary latencies %+v", rep)
+	}
+	if rep.MaxRedeployFraction != 0 || rep.TotalRedeployed != 0 {
+		t.Fatalf("empty summary redeploy stats %+v", rep)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "0 repair(s), 0 unrepaired injection(s)") {
+		t.Fatalf("empty report rendering:\n%s", out)
+	}
+	// No latency summary line for an empty set: there is nothing to
+	// average, and "0s/0s" would read as a measured result.
+	if strings.Contains(out, "time-to-detect") {
+		t.Fatalf("empty report renders latency line:\n%s", out)
+	}
+}
+
+func TestDurationPercentile(t *testing.T) {
+	ds := []time.Duration{
+		40 * time.Second, 10 * time.Second, 30 * time.Second, 20 * time.Second, 50 * time.Second,
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.5, 30 * time.Second},  // nearest-rank: ceil(0.5*5) = 3rd
+		{0.95, 50 * time.Second}, // ceil(4.75) = 5th
+		{1, 50 * time.Second},    // max
+		{0, 10 * time.Second},    // clamped rank >= 1: min
+		{-1, 10 * time.Second},   // p clamped up to 0
+		{2, 50 * time.Second},    // p clamped down to 1
+	}
+	for _, c := range cases {
+		if got := DurationPercentile(ds, c.p); got != c.want {
+			t.Fatalf("percentile %v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := DurationPercentile(nil, 0.95); got != 0 {
+		t.Fatalf("empty percentile %v, want 0", got)
+	}
+	// The input slice must not be reordered.
+	if ds[0] != 40*time.Second || ds[4] != 50*time.Second {
+		t.Fatalf("input mutated: %v", ds)
 	}
 }
 

@@ -208,6 +208,11 @@ func (m *Member) dispatch(msg proto.Message) {
 		m.mu.Lock()
 		if msg.Epoch > m.epoch {
 			m.epoch = msg.Epoch
+			// Sequence numbers restart with the epoch: a coordinator
+			// elected after a member rebuild issues tokens from a low
+			// sequence, which must not look stale against the watermark
+			// of the previous incarnation.
+			m.lastSeq = 0
 		}
 		m.mu.Unlock()
 	case proto.MsgTokenAck, proto.MsgElectionOK:
@@ -222,12 +227,19 @@ func (m *Member) handleToken(tok proto.Message) {
 		Type: proto.MsgTokenAck, Clique: m.cfg.Name, TokenSeq: tok.TokenSeq, Epoch: tok.Epoch,
 	})
 	m.mu.Lock()
+	if tok.Epoch > m.epoch {
+		// A token from a newer incarnation: its sequence space starts
+		// over, so the previous incarnation's watermark must not make it
+		// look stale (a member rebuilt in place restarts near sequence 1
+		// while survivors may sit hundreds of passes in).
+		m.epoch = tok.Epoch
+		m.lastSeq = 0
+	}
 	if tok.Epoch < m.epoch || tok.TokenSeq <= m.lastSeq {
 		m.stats.StaleTokens++
 		m.mu.Unlock()
 		return
 	}
-	m.epoch = tok.Epoch
 	m.lastSeq = tok.TokenSeq
 	m.mu.Unlock()
 	m.holdToken()

@@ -16,11 +16,12 @@ import (
 // rig wires n hosts on a switch, a clique over all of them, and a shared
 // measurement log.
 type rig struct {
-	sim     *vclock.Sim
-	tr      *proto.SimTransport
-	net     *simnet.Network
-	members []*Member
-	hosts   []string
+	sim      *vclock.Sim
+	tr       *proto.SimTransport
+	net      *simnet.Network
+	members  []*Member
+	stations []*proto.Station
+	hosts    []string
 
 	mu   sync.Mutex
 	meas []sensor.Measurement
@@ -53,6 +54,7 @@ func newRig(t *testing.T, n int, cfg Config) *rig {
 		st := proto.NewStation(tr.Runtime(), ep)
 		m := NewMember(cfg, st, prober, r.record)
 		r.members = append(r.members, m)
+		r.stations = append(r.stations, st)
 		sim.Go("member:"+h, m.Run)
 	}
 	return r

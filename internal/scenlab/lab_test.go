@@ -1,0 +1,148 @@
+package scenlab
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// labSpec is a small, fast scenario for harness tests: a 2×2 LAN, short
+// phases, one crash that heals.
+func labSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := Decode([]byte(`{
+		"name": "labtest",
+		"seed": 7,
+		"topology": {"kind": "lan", "lan": {"subnets": 2, "hosts_per_subnet": 2}},
+		"phases": {"warmup_sec": 180, "inject_sec": 360, "recovery_sec": 240},
+		"reconcile_every_sec": 120,
+		"sample_every_sec": 60,
+		"fault": {"kind": "crash", "start_sec": 60, "heal_after_sec": 180},
+		"slo": {"queries_must_flow": true, "converged": true, "repairs_min": 1}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunMeetsItsGates(t *testing.T) {
+	res, err := Run(labSpec(t), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if !sum.Pass {
+		t.Fatalf("lab scenario breached its SLO:\n%+v", sum.Gates)
+	}
+	if sum.Repairs < 1 || sum.Injected == 0 {
+		t.Fatalf("crash not injected/repaired: %+v", sum)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if int64(last.TSec) != sum.VirtualSec {
+		t.Fatalf("virtual span %d does not end at final sample %d", sum.VirtualSec, last.TSec)
+	}
+}
+
+// TestRunFailsUnmeetableAssertion proves the harness actually gates: an
+// assertion no run can satisfy must produce Pass == false, which run
+// and matrix turn into a non-zero exit.
+func TestRunFailsUnmeetableAssertion(t *testing.T) {
+	s := labSpec(t)
+	impossible := -1
+	s.SLO.MaxForecastGapTicks = &impossible // a gap count is never negative
+	res, err := Run(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.Pass {
+		t.Fatal("summary passed an unmeetable assertion")
+	}
+	found := false
+	for _, g := range sum.Gates {
+		if g.Name == "max_forecast_gap_ticks" {
+			found = true
+			if g.Pass {
+				t.Fatalf("unmeetable gate passed: %+v", g)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("unmeetable gate not evaluated: %+v", sum.Gates)
+	}
+}
+
+// TestRunDeterministic: the same committed scenario file and seed must
+// produce byte-identical summary.json and samples.jsonl artifacts —
+// the property the matrix's rerun column and CI replays rely on.
+func TestRunDeterministic(t *testing.T) {
+	f, err := LoadFile(filepath.Join("..", "..", "scenarios", "crash.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifacts := func(dir string) (sum, samples []byte) {
+		t.Helper()
+		res, err := Run(f.Spec, f.Spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WriteArtifacts(dir, res, NewProvenance(f, f.Spec.Seed, 1)); err != nil {
+			t.Fatal(err)
+		}
+		sum, err = os.ReadFile(filepath.Join(dir, "summary.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err = os.ReadFile(filepath.Join(dir, "samples.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, samples
+	}
+	base := t.TempDir()
+	sum1, samples1 := artifacts(filepath.Join(base, "one"))
+	sum2, samples2 := artifacts(filepath.Join(base, "two"))
+	if string(sum1) != string(sum2) {
+		t.Errorf("summary.json not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", sum1, sum2)
+	}
+	if string(samples1) != string(samples2) {
+		t.Errorf("samples.jsonl not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", samples1, samples2)
+	}
+}
+
+// TestGateReplaysArtifacts: Gate re-reads what WriteArtifacts laid out
+// (matrix layout: <dir>/<scenario>/run-<k>/) and reproduces the verdict.
+func TestGateReplaysArtifacts(t *testing.T) {
+	s := labSpec(t)
+	res, err := Run(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f := &File{Spec: s, Path: "labtest.json", SHA256: "test"}
+	sum, err := WriteArtifacts(filepath.Join(dir, s.Name, "run-1"), res, NewProvenance(f, 7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Gate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) != 1 || rep.OK() != sum.Pass {
+		t.Fatalf("gate replay: %d summaries, ok=%v want %v", len(rep.Summaries), rep.OK(), sum.Pass)
+	}
+	out := rep.String()
+	for _, frag := range []string{"labtest", "1 run(s)", "queries_must_flow"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("gate report misses %q:\n%s", frag, out)
+		}
+	}
+	if _, err := Gate(t.TempDir()); err == nil || !strings.Contains(err.Error(), "scenlab matrix") {
+		t.Errorf("empty gate dir should point at the matrix: %v", err)
+	}
+}
