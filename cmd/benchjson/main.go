@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -300,6 +301,38 @@ func compareArtifacts(oldPath, newPath string, threshold float64) (report string
 		}
 		fmt.Fprintf(&b, "  %-10s %-50s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
 			verdict, name, oldNs, newNs, ratio*100)
+		// Memory gates apply only when both runs recorded the metric:
+		// a baseline predating -benchmem must not fail every comparison.
+		for _, unit := range []string{"B/op", "allocs/op"} {
+			oldV, okOld := oldE.Metrics[unit]
+			newV, okNew := newE.Metrics[unit]
+			if !okOld || !okNew {
+				continue
+			}
+			var frac float64
+			switch {
+			case oldV > 0:
+				frac = newV/oldV - 1
+			case newV > 0:
+				// Zero-alloc baseline lost: unbounded regression.
+				frac = math.Inf(1)
+			default:
+				continue
+			}
+			verdict := "ok"
+			delta := fmt.Sprintf("%+.1f%%", frac*100)
+			if math.IsInf(frac, 1) {
+				delta = "from zero"
+			}
+			if frac > threshold {
+				verdict = "REGRESSED"
+				regressed = true
+			} else if frac < -threshold {
+				verdict = "improved"
+			}
+			fmt.Fprintf(&b, "  %-10s %-50s %14.0f -> %14.0f %s (%s)\n",
+				verdict, name, oldV, newV, unit, delta)
+		}
 	}
 	for name := range newArt.Benchmarks {
 		if _, ok := oldArt.Benchmarks[name]; !ok {

@@ -154,6 +154,115 @@ func TestArtifactRatio(t *testing.T) {
 	}
 }
 
+func TestCompareGatesOnMemRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000, "B/op": 100, "allocs/op": 3}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000, "B/op": 300, "allocs/op": 3}},
+	})
+	report, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("3x B/op growth must trip the 25%% gate even with flat ns/op:\n%s", report)
+	}
+	if !strings.Contains(report, "B/op") || !strings.Contains(report, "REGRESSED") {
+		t.Errorf("report does not call out the B/op regression:\n%s", report)
+	}
+}
+
+func TestCompareGatesOnAllocRegressionFromZero(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 0}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 2}},
+	})
+	_, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("losing a zero-alloc baseline must fail the gate")
+	}
+}
+
+func TestComparePassesOnMemImprovement(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000, "B/op": 4096, "allocs/op": 40}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 990, "B/op": 512, "allocs/op": 6}},
+	})
+	report, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("a memory improvement must pass the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "improved") {
+		t.Errorf("report does not note the improvement:\n%s", report)
+	}
+}
+
+func TestCompareSkipsMemWhenBaselineLacksIt(t *testing.T) {
+	// A baseline recorded before -benchmem must not fail every new run
+	// that measures memory.
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	newPath := writeArtifact(t, dir, "new.json", map[string]Entry{
+		"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1000, "B/op": 1 << 20, "allocs/op": 999}},
+	})
+	report, regressed, err := compareArtifacts(oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("memory metrics absent from the baseline must not gate:\n%s", report)
+	}
+}
+
+func TestParseBenchOutputMemMetrics(t *testing.T) {
+	out := `goos: linux
+pkg: nwsenv/internal/simnet
+BenchmarkScaleGridTransfers/hosts=100-8         	     120	    912345 ns/op	    2048 B/op	      31 allocs/op	      7.000 settles
+PASS
+`
+	art := Artifact{Benchmarks: map[string]Entry{}}
+	parseBenchOutput(&art, out)
+	e, ok := art.Benchmarks["BenchmarkScaleGridTransfers/hosts=100"]
+	if !ok {
+		t.Fatalf("benchmark not parsed: %+v", art.Benchmarks)
+	}
+	want := map[string]float64{"ns/op": 912345, "B/op": 2048, "allocs/op": 31, "settles": 7}
+	for unit, v := range want {
+		if e.Metrics[unit] != v {
+			t.Errorf("metric %s = %g, want %g", unit, e.Metrics[unit], v)
+		}
+	}
+
+	// The emitted artifact round-trips the memory metrics.
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks["BenchmarkScaleGridTransfers/hosts=100"].Metrics["B/op"] != 2048 {
+		t.Errorf("B/op did not round-trip: %+v", back)
+	}
+}
+
 func TestParseBenchOutput(t *testing.T) {
 	out := `goos: linux
 pkg: nwsenv

@@ -48,6 +48,7 @@ import (
 	"nwsenv/internal/reconcile"
 	"nwsenv/internal/scenlab"
 	"nwsenv/internal/simnet"
+	"nwsenv/internal/telemetry"
 	"nwsenv/internal/topo"
 	"nwsenv/internal/vclock"
 )
@@ -67,6 +68,7 @@ func main() {
 	scenarioDir := flag.String("scenarios", "scenarios", "directory of declarative scenario files -scenario names resolve in")
 	seed := flag.Int64("seed", 42, "seed for all scenario randomness (fault timing, victim choice, churn order)")
 	interval := flag.Duration("reconcile-interval", 2*time.Minute, "reconcile round period (virtual, or wall-clock with -tcp)")
+	teleDir := flag.String("telemetry", "", "directory for telemetry artifacts: metrics.jsonl, trace.jsonl and snapshot.json (periodic under -watch, final flush on exit or SIGINT)")
 	flag.Parse()
 	if *interval <= 0 {
 		// The reconciler and the scenario builder both pace off the
@@ -86,7 +88,7 @@ func main() {
 	})
 
 	if *tcp {
-		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, observer)
+		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, *teleDir, observer)
 		return
 	}
 	if *topoFile == "" {
@@ -94,11 +96,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *watch {
-		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, observer)
+		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, *teleDir, observer)
 		return
 	}
 	if *auto {
-		runAuto(*topoFile, *duration, *query, *pairwise, observer)
+		runAuto(*topoFile, *duration, *query, *pairwise, *teleDir, observer)
 		return
 	}
 	if *planFile == "" {
@@ -111,12 +113,14 @@ func main() {
 // runAuto drives the whole pipeline on the simulated platform: one
 // command instead of the topogen→envmap→nwsdeploy→nwsmanager file
 // relay.
-func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, observer core.Option) {
+func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, teleDir string, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
 	runs := se.MapRuns()
-	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), observer}
+	reg := telemetry.New(sim.Now)
+	simnet.RegisterTelemetry(reg, net)
+	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), core.WithTelemetry(reg), observer}
 	if pairwise {
 		opts = append(opts, core.WithPairwiseSwitched())
 	}
@@ -147,6 +151,7 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 		querySim(sim, out.Deployment, out.Plan, query, base+duration)
 	}
 	out.Deployment.Stop()
+	flushTelemetry(reg, teleDir)
 }
 
 // runWatchSim deploys on the simulated platform, then hands the system
@@ -154,12 +159,14 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 // out: §4.3's platform evolution end to end. It exits non-zero when the
 // loop has not converged on a valid deployment by the end (unless it
 // was interrupted).
-func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, observer core.Option) {
+func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, teleDir string, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
 	runs := se.MapRuns()
-	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), observer}
+	reg := telemetry.New(sim.Now)
+	simnet.RegisterTelemetry(reg, net)
+	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), core.WithTelemetry(reg), observer}
 	if pairwise {
 		opts = append(opts, core.WithPairwiseSwitched())
 	}
@@ -203,14 +210,19 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	})
 	sim.Go("reconcile", func() { rec.Run(context.Background()) })
 
-	// Drive virtual time in wall-clock-interruptible steps.
+	// Drive virtual time in wall-clock-interruptible steps, refreshing
+	// the live telemetry snapshot every ten virtual minutes.
 	interrupted := false
+	step := 0
 	for at := base + time.Minute; at <= base+duration; at += time.Minute {
 		if ctx.Err() != nil {
 			interrupted = true
 			break
 		}
 		check(sim.RunUntil(at))
+		if step++; teleDir != "" && step%10 == 0 {
+			writeSnapshot(reg, teleDir)
+		}
 	}
 	elapsed := sim.Now() - base
 
@@ -241,6 +253,9 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	converged := len(rounds) > 0 && rounds[len(rounds)-1].Err == nil && !rounds[len(rounds)-1].Drifted()
 	fmt.Printf("final deployment: %d hosts, complete=%v, converged=%v\n", len(dep.Plan.Hosts), v.Complete, converged)
 	dep.Stop()
+	// Final flush happens on the SIGINT path too: an interrupted watch
+	// still leaves complete artifacts behind.
+	flushTelemetry(reg, teleDir)
 	if interrupted {
 		fmt.Println("interrupted: shut down cleanly")
 		return
@@ -291,7 +306,7 @@ func buildScenario(name, dir string, seed int64, base time.Duration, tp *simnet.
 // same code path as the simulator, on the wall clock. With watch, the
 // reconcile loop maintains the deployment until the duration elapses or
 // the context is canceled (SIGINT).
-func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, observer core.Option) {
+func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, teleDir string, observer core.Option) {
 	seen := map[string]bool{}
 	for i, h := range hosts {
 		h = strings.TrimSpace(h)
@@ -311,9 +326,14 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPa
 		os.Exit(2)
 	}
 	plat := platform.NewTCPPlatform(hosts)
+	// On the TCP platform the registry reads the wall clock: the same
+	// instruments, honest timings instead of deterministic ones.
+	reg := telemetry.New(plat.Runtime().Now)
+	defer flushTelemetry(reg, teleDir)
 	pl := core.NewPipeline(plat,
 		core.WithGridLabel("loopback"),
 		core.WithTokenGap(50*time.Millisecond),
+		core.WithTelemetry(reg),
 		observer)
 
 	run := core.MapRun{Master: hosts[0], Hosts: hosts}
@@ -506,8 +526,9 @@ func reportSim(net *simnet.Network, duration time.Duration) {
 	fmt.Printf("monitored %v of virtual time\n", duration)
 	fmt.Printf("  probes        : %d (%.1f MB injected)\n", report.Probes, float64(report.ProbeBytes)/1e6)
 	fmt.Printf("  collisions    : %d (rate %.4f)\n", report.Collisions, report.CollisionRate)
-	fmt.Printf("  pair frequency: min %.2f/min max %.2f/min over %d measured pairs\n",
-		report.MinPairPerMinute, report.MaxPairPerMinute, len(report.PairFrequency))
+	fmt.Printf("  pair frequency: min %.2f p50 %.2f p95 %.2f max %.2f per minute over %d measured pairs\n",
+		report.MinPairPerMinute, report.P50PairPerMinute, report.P95PairPerMinute,
+		report.MaxPairPerMinute, len(report.PairFrequency))
 
 	// Show the freshest bandwidth readings per pair.
 	type row struct {
@@ -572,6 +593,26 @@ func querySim(sim *vclock.Sim, dep *deploy.Deployment, plan *deploy.Plan, query 
 	}
 	fmt.Printf("estimate %s -> %s: %.2f Mbps, %.2f ms RTT (%s)\n",
 		parts[0], parts[1], est.BandwidthMbps, est.LatencyMS, kind)
+}
+
+// writeSnapshot refreshes the live snapshot.json under dir: the
+// -watch loop's periodic dump, overwritten in place so tailing it
+// always shows the current registry state.
+func writeSnapshot(reg *telemetry.Registry, dir string) {
+	check(os.MkdirAll(dir, 0o755))
+	check(os.WriteFile(filepath.Join(dir, "snapshot.json"), telemetry.SnapshotJSON(reg.Snapshot()), 0o644))
+}
+
+// flushTelemetry writes the final artifacts — metrics.jsonl,
+// trace.jsonl and a last snapshot.json — under dir. A no-op when no
+// -telemetry dir was requested.
+func flushTelemetry(reg *telemetry.Registry, dir string) {
+	if dir == "" {
+		return
+	}
+	writeSnapshot(reg, dir)
+	check(reg.WriteArtifacts(dir))
+	fmt.Fprintf(os.Stderr, "[telemetry] wrote %s\n", filepath.Join(dir, "{metrics.jsonl,trace.jsonl,snapshot.json}"))
 }
 
 func check(err error) {

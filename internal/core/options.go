@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"nwsenv/internal/gridml"
+	"nwsenv/internal/telemetry"
 )
 
 // Phase identifies a pipeline stage for progress observers.
@@ -27,6 +29,37 @@ const (
 // doing.
 type ProgressFunc func(phase Phase, detail string)
 
+// Field is one structured event attribute; fields are an ordered list
+// so renderings stay deterministic.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// F builds a Field from any value.
+func F(key string, value interface{}) Field {
+	return Field{Key: key, Value: fmt.Sprint(value)}
+}
+
+// Event is one structured pipeline progress event. Name identifies the
+// step machine-readably ("env_run", "planned", "agents_starting", ...);
+// Fields carry the values the old printf observer interpolated; Detail
+// is the legacy human-readable line, rendered exactly as the printf
+// observer used to produce it, so ProgressFunc observers see unchanged
+// output.
+type Event struct {
+	Phase  Phase
+	Name   string
+	Fields []Field
+	Detail string
+}
+
+// String renders the legacy progress line.
+func (e Event) String() string { return e.Detail }
+
+// EventFunc observes structured pipeline events.
+type EventFunc func(Event)
+
 // config collects the pipeline's tunables; Options build it.
 type config struct {
 	gridLabel        string
@@ -38,6 +71,8 @@ type config struct {
 	planOnly         bool
 	autoAliases      bool
 	observer         ProgressFunc
+	events           EventFunc
+	tele             *telemetry.Registry
 }
 
 // Option configures a Pipeline.
@@ -96,4 +131,19 @@ func WithPlanOnly() Option {
 // WithObserver registers a progress hook for phase transitions.
 func WithObserver(fn ProgressFunc) Option {
 	return func(c *config) { c.observer = fn }
+}
+
+// WithEventObserver registers a structured-event hook. Every progress
+// report flows through it with a machine-readable name and fields; the
+// legacy ProgressFunc (if also set) receives the rendered Detail line.
+func WithEventObserver(fn EventFunc) Option {
+	return func(c *config) { c.events = fn }
+}
+
+// WithTelemetry wires a telemetry registry through the pipeline and
+// everything it deploys: stage spans, per-phase event counters, the
+// deployed roles' instruments (gateway, clique), and the reconcile
+// control plane (which reads it back via Pipeline.Telemetry).
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(c *config) { c.tele = r }
 }

@@ -7,6 +7,7 @@ import (
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/env"
 	"nwsenv/internal/platform"
+	"nwsenv/internal/telemetry"
 )
 
 // Pipeline is the paper's deployment pipeline over an abstract platform,
@@ -31,17 +32,39 @@ func NewPipeline(plat platform.Platform, opts ...Option) *Pipeline {
 // Platform returns the platform the pipeline runs on.
 func (p *Pipeline) Platform() platform.Platform { return p.plat }
 
-func (p *Pipeline) report(phase Phase, format string, args ...interface{}) {
-	if p.cfg.observer != nil {
-		p.cfg.observer(phase, fmt.Sprintf(format, args...))
+// Telemetry returns the registry wired with WithTelemetry (nil if
+// none). Callers re-entering the pipeline — the reconcile control
+// plane — instrument themselves against the same registry.
+func (p *Pipeline) Telemetry() *telemetry.Registry { return p.cfg.tele }
+
+// emit is the single reporting path: it builds a structured Event,
+// hands it to the event observer, renders the legacy line for the
+// ProgressFunc observer, and counts it on the registry.
+func (p *Pipeline) emit(phase Phase, name string, fields []Field, format string, args ...interface{}) {
+	if p.cfg.observer == nil && p.cfg.events == nil && p.cfg.tele == nil {
+		return
 	}
+	detail := fmt.Sprintf(format, args...)
+	if p.cfg.events != nil {
+		p.cfg.events(Event{Phase: phase, Name: name, Fields: fields, Detail: detail})
+	}
+	if p.cfg.observer != nil {
+		p.cfg.observer(phase, detail)
+	}
+	p.cfg.tele.Counter("pipeline", "events", map[string]string{"phase": string(phase)}).Inc()
 }
 
-// Observe reports progress through the pipeline's observer on behalf of
-// a caller re-entering the pipeline (the reconcile control plane
-// narrates its rounds through the same hook the stages use).
+// span opens a pipeline-subsystem trace span (no-op without telemetry).
+func (p *Pipeline) span(name string, attrs ...telemetry.Attr) *telemetry.ActiveSpan {
+	return p.cfg.tele.StartSpan("pipeline", name, attrs...)
+}
+
+// Observe reports progress through the pipeline's observers on behalf
+// of a caller re-entering the pipeline (the reconcile control plane
+// narrates its rounds through the same hook the stages use). The event
+// is emitted with the generic name "note".
 func (p *Pipeline) Observe(phase Phase, format string, args ...interface{}) {
-	p.report(phase, format, args...)
+	p.emit(phase, "note", nil, format, args...)
 }
 
 // Mapping is the artifact of the Map stage: the per-run results, the
@@ -65,10 +88,15 @@ func (p *Pipeline) Map(ctx context.Context, runs ...MapRun) (*Mapping, error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("core: no mapping runs configured")
 	}
+	stage := p.span("map", telemetry.Attr{Key: "runs", Value: fmt.Sprint(len(runs))})
+	defer stage.End()
 	m := &Mapping{Runs: runs, Resolve: map[string]string{}}
 	sub := p.plat.Substrate()
 	for _, run := range runs {
-		p.report(PhaseMap, "ENV run from %s (%d hosts)", run.Master, len(run.Hosts))
+		p.emit(PhaseMap, "env_run",
+			[]Field{F("master", run.Master), F("hosts", len(run.Hosts))},
+			"ENV run from %s (%d hosts)", run.Master, len(run.Hosts))
+		rs := stage.Child("env_run", telemetry.Attr{Key: "master", Value: run.Master})
 		cfg := env.Config{
 			Master:        run.Master,
 			Hosts:         run.Hosts,
@@ -78,6 +106,7 @@ func (p *Pipeline) Map(ctx context.Context, runs ...MapRun) (*Mapping, error) {
 			Bidirectional: run.Bidirectional,
 		}
 		res, err := env.NewMapperOn(sub, cfg).RunContext(ctx)
+		rs.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: mapping from %s: %w", run.Master, err)
 		}
@@ -87,14 +116,19 @@ func (p *Pipeline) Map(ctx context.Context, runs ...MapRun) (*Mapping, error) {
 	aliases := p.cfg.aliases
 	if len(aliases) == 0 && p.cfg.autoAliases && len(m.Results) > 1 {
 		aliases = env.GuessAliases(m.Results)
-		p.report(PhaseMap, "guessed %d gateway alias(es) by IP", len(aliases))
+		p.emit(PhaseMap, "aliases_guessed",
+			[]Field{F("aliases", len(aliases))},
+			"guessed %d gateway alias(es) by IP", len(aliases))
 	}
 	merged, err := env.MergeAll(p.cfg.gridLabel, m.Results, aliases)
 	if err != nil {
 		return nil, err
 	}
 	m.Merged = merged
-	p.report(PhaseMap, "merged %d run(s) into %d networks (%d probes, %.1f MB)",
+	p.emit(PhaseMap, "merged",
+		[]Field{F("runs", len(m.Results)), F("networks", len(merged.Networks)),
+			F("probes", merged.Stats.Probes), F("probe_bytes", merged.Stats.ProbeBytes)},
+		"merged %d run(s) into %d networks (%d probes, %.1f MB)",
 		len(m.Results), len(merged.Networks), merged.Stats.Probes, float64(merged.Stats.ProbeBytes)/1e6)
 
 	// Resolve canonical names to node IDs using run metadata and the
@@ -136,6 +170,8 @@ type PlanResult struct {
 // (phase 2). An incomplete plan — some host pair neither measured nor
 // estimable — is an error.
 func (p *Pipeline) Plan(m *Mapping) (*PlanResult, error) {
+	stage := p.span("plan")
+	defer stage.End()
 	master := p.cfg.master
 	if master == "" && len(m.Runs) > 0 {
 		first := m.Runs[0]
@@ -151,17 +187,23 @@ func (p *Pipeline) Plan(m *Mapping) (*PlanResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.report(PhasePlan, "planned %d cliques over %d hosts (master %s)",
+	p.emit(PhasePlan, "planned",
+		[]Field{F("cliques", len(plan.Cliques)), F("hosts", len(plan.Hosts)), F("master", plan.Master)},
+		"planned %d cliques over %d hosts (master %s)",
 		len(plan.Cliques), len(plan.Hosts), plan.Master)
 
+	vs := stage.Child("validate")
 	v, err := platform.ValidatePlan(p.plat, plan, m.Resolve)
+	vs.End()
 	if err != nil {
 		return nil, err
 	}
 	if !v.Complete {
 		return nil, fmt.Errorf("core: planned deployment incomplete: %v", v.MissingPairs)
 	}
-	p.report(PhasePlan, "validated: %d/%d pairs direct, max clique %d",
+	p.emit(PhasePlan, "validated",
+		[]Field{F("direct_pairs", v.DirectPairs), F("total_pairs", v.TotalPairs), F("max_clique", v.MaxCliqueSize)},
+		"validated: %d/%d pairs direct, max clique %d",
 		v.DirectPairs, v.TotalPairs, v.MaxCliqueSize)
 	return &PlanResult{Mapping: m, Plan: plan, Validation: v}, nil
 }
@@ -170,17 +212,25 @@ func (p *Pipeline) Plan(m *Mapping) (*PlanResult, error) {
 // transport (phase 3). The platform's accounting is reset first so the
 // monitoring era is separated from the mapping era.
 func (p *Pipeline) Apply(ctx context.Context, pr *PlanResult) (*deploy.Deployment, error) {
+	stage := p.span("apply", telemetry.Attr{Key: "hosts", Value: fmt.Sprint(len(pr.Plan.Hosts))})
+	defer stage.End()
 	p.plat.ResetAccounting()
-	p.report(PhaseApply, "starting %d agents on %s", len(pr.Plan.Hosts), p.plat.Name())
+	p.emit(PhaseApply, "agents_starting",
+		[]Field{F("agents", len(pr.Plan.Hosts)), F("platform", p.plat.Name())},
+		"starting %d agents on %s", len(pr.Plan.Hosts), p.plat.Name())
 	dep, err := deploy.ApplyContext(ctx, p.plat.Transport(), p.plat.Prober(), pr.Plan, pr.Mapping.Resolve, deploy.ApplyOptions{
 		TokenGap:         p.cfg.tokenGap,
 		HostSensorPeriod: p.cfg.hostSensorPeriod,
 		PairwiseSwitched: p.cfg.pairwiseSwitched,
+		Telemetry:        p.cfg.tele,
 	})
 	if err != nil {
 		return nil, err
 	}
-	p.report(PhaseApply, "deployment running: ns=%s forecaster=%s memories=%v",
+	p.emit(PhaseApply, "deployment_running",
+		[]Field{F("ns", pr.Plan.NameServer), F("forecaster", pr.Plan.Forecaster),
+			F("memories", pr.Plan.MemoryServers)},
+		"deployment running: ns=%s forecaster=%s memories=%v",
 		pr.Plan.NameServer, pr.Plan.Forecaster, pr.Plan.MemoryServers)
 	return dep, nil
 }

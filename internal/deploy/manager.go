@@ -10,6 +10,7 @@ import (
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/query"
+	"nwsenv/internal/telemetry"
 )
 
 // ApplyOptions tune the deployment application.
@@ -29,6 +30,10 @@ type ApplyOptions struct {
 	// without creating collisions. Shared networks and bridges keep
 	// their rings.
 	PairwiseSwitched bool
+	// Telemetry, when set, is threaded into every deployed role
+	// (gateway admission instruments, clique ring counters) and into
+	// query clients built via QueryClient. Nil deploys uninstrumented.
+	Telemetry *telemetry.Registry
 }
 
 // Deployment is a plan applied to a transport: one agent per host. It
@@ -143,6 +148,7 @@ func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs 
 			TokenGap:   gap,
 			StartDelay: time.Duration(i) * opts.StaggerStep,
 			Epoch:      epochs[spec.Name],
+			Telemetry:  opts.Telemetry,
 		}
 		if opts.PairwiseSwitched && spec.Network != "" && !spec.Shared && len(members) >= 3 {
 			role := host.PairwiseRole{
@@ -181,6 +187,7 @@ func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs 
 			Cliques:          cliqueCfgs[node],
 			Pairwise:         pairwiseCfgs[node],
 			HostSensorPeriod: opts.HostSensorPeriod,
+			Telemetry:        opts.Telemetry,
 		}
 		if name == plan.NameServer {
 			roles.NameServer = true
@@ -243,6 +250,9 @@ func (d *Deployment) Stop() {
 // its discovery cache and lookup singleflight amortize the directory
 // traffic.
 func (d *Deployment) QueryClient(port proto.Port, opts ...query.Option) *query.Client {
+	if d.opts.Telemetry != nil {
+		opts = append([]query.Option{query.WithTelemetry(d.opts.Telemetry)}, opts...)
+	}
 	return query.New(port, d.Resolve[d.Plan.NameServer], opts...)
 }
 

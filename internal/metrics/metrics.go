@@ -30,6 +30,10 @@ type Report struct {
 	// MinPairPerMinute / MaxPairPerMinute summarize frequency across
 	// measured pairs.
 	MinPairPerMinute, MaxPairPerMinute float64
+	// P50/P95/P99PairPerMinute are nearest-rank percentiles of the
+	// per-pair frequency distribution: min/max alone hide whether one
+	// starved pair is an outlier or the norm (§2.3 scalability).
+	P50PairPerMinute, P95PairPerMinute, P99PairPerMinute float64
 }
 
 // Observe builds a report from a network's accounting over the window,
@@ -54,6 +58,7 @@ func Observe(net *simnet.Network, tagPrefix string, window time.Duration) Report
 		r.CollisionRate = float64(r.Collisions) / float64(r.Probes)
 	}
 	first := true
+	freqs := make([]float64, 0, len(r.PairFrequency))
 	for _, f := range r.PairFrequency {
 		if first || f < r.MinPairPerMinute {
 			r.MinPairPerMinute = f
@@ -62,8 +67,37 @@ func Observe(net *simnet.Network, tagPrefix string, window time.Duration) Report
 			r.MaxPairPerMinute = f
 		}
 		first = false
+		freqs = append(freqs, f)
 	}
+	sort.Float64s(freqs)
+	r.P50PairPerMinute = FloatPercentile(freqs, 0.50)
+	r.P95PairPerMinute = FloatPercentile(freqs, 0.95)
+	r.P99PairPerMinute = FloatPercentile(freqs, 0.99)
 	return r
+}
+
+// FloatPercentile returns the nearest-rank percentile of an already
+// sorted slice — the same convention as DurationPercentile, so the
+// frequency and latency percentiles of one report are comparable.
+// Zero on an empty slice.
+func FloatPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // PairAccuracy compares one composed estimate with ground truth.

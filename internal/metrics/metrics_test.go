@@ -51,6 +51,80 @@ func TestObserveCountsAndRates(t *testing.T) {
 	}
 }
 
+func TestObservePairPercentiles(t *testing.T) {
+	sim, net := hubNet(t)
+	sim.Go("p", func() {
+		// a->b measured 4x, a->c 2x, b->c 1x over one minute: a skewed
+		// distribution the percentiles must rank, not average.
+		for i := 0; i < 4; i++ {
+			net.Transfer("a", "b", 100_000, "probe:x")
+		}
+		net.Transfer("a", "c", 100_000, "probe:x")
+		net.Transfer("a", "c", 100_000, "probe:x")
+		net.Transfer("b", "c", 100_000, "probe:x")
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := Observe(net, "probe:", time.Minute)
+	// Frequencies sorted: [1, 2, 4] per minute. Nearest rank: p50 is
+	// the 2nd (2/min), p95 and p99 the 3rd (4/min).
+	if r.P50PairPerMinute != 2 {
+		t.Fatalf("p50 %v, want 2", r.P50PairPerMinute)
+	}
+	if r.P95PairPerMinute != 4 || r.P99PairPerMinute != 4 {
+		t.Fatalf("p95/p99 %v/%v, want 4/4", r.P95PairPerMinute, r.P99PairPerMinute)
+	}
+}
+
+func TestObservePercentilesEmpty(t *testing.T) {
+	_, net := hubNet(t)
+	r := Observe(net, "probe:", time.Minute)
+	if len(r.PairFrequency) != 0 {
+		t.Fatalf("pairs %v", r.PairFrequency)
+	}
+	if r.P50PairPerMinute != 0 || r.P95PairPerMinute != 0 || r.P99PairPerMinute != 0 {
+		t.Fatalf("percentiles of an empty set must be 0: %+v", r)
+	}
+}
+
+func TestObservePercentilesSinglePair(t *testing.T) {
+	sim, net := hubNet(t)
+	sim.Go("p", func() {
+		net.Transfer("a", "b", 100_000, "probe:x")
+		net.Transfer("a", "b", 100_000, "probe:x")
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := Observe(net, "probe:", time.Minute)
+	// One pair at 2/min: every percentile collapses onto it.
+	for _, p := range []float64{r.P50PairPerMinute, r.P95PairPerMinute, r.P99PairPerMinute} {
+		if p != 2 {
+			t.Fatalf("single-pair percentiles must all equal the pair's frequency: %+v", r)
+		}
+	}
+	if r.MinPairPerMinute != 2 || r.MaxPairPerMinute != 2 {
+		t.Fatalf("min/max %v/%v", r.MinPairPerMinute, r.MaxPairPerMinute)
+	}
+}
+
+func TestFloatPercentileBounds(t *testing.T) {
+	if got := FloatPercentile(nil, 0.95); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	sorted := []float64{1, 2, 3, 4}
+	if got := FloatPercentile(sorted, -1); got != 1 {
+		t.Fatalf("p<0 must clamp to the minimum: %v", got)
+	}
+	if got := FloatPercentile(sorted, 2); got != 4 {
+		t.Fatalf("p>1 must clamp to the maximum: %v", got)
+	}
+	if got := FloatPercentile(sorted, 0.5); got != 2 {
+		t.Fatalf("p50 of [1 2 3 4] is 2 by nearest rank: %v", got)
+	}
+}
+
 func TestObserveCollisions(t *testing.T) {
 	sim, net := hubNet(t)
 	sim.Go("p1", func() { net.Transfer("a", "b", 2_000_000, "probe:1") })

@@ -34,6 +34,7 @@ import (
 
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/telemetry"
 )
 
 // Config parameterizes one measurement clique.
@@ -65,6 +66,11 @@ type Config struct {
 	// ex-member) are recognized as stale and dropped instead of racing
 	// the new ring.
 	Epoch int64
+	// Telemetry, when set, mirrors the member's Stats onto the
+	// process-wide registry, labeled by clique name. Excluded from the
+	// deployment's role signatures: wiring telemetry never rebuilds a
+	// ring.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,13 @@ type Member struct {
 	stopped bool
 	stats   Stats
 
+	// Registry mirrors of the Stats counters (nil instruments no-op).
+	tTokens     *telemetry.Counter
+	tStale      *telemetry.Counter
+	tElections  *telemetry.Counter
+	tEpochBumps *telemetry.Counter
+	tProbeErrs  *telemetry.Counter
+
 	backlog []proto.Message
 }
 
@@ -139,7 +152,14 @@ func NewMember(cfg Config, port proto.Port, prober sensor.Prober, store StoreFn)
 	if store == nil {
 		store = func(sensor.Measurement) {}
 	}
-	return &Member{cfg: cfg, port: port, prober: prober, store: store, idx: idx, epoch: cfg.Epoch}
+	m := &Member{cfg: cfg, port: port, prober: prober, store: store, idx: idx, epoch: cfg.Epoch}
+	labels := map[string]string{"clique": cfg.Name}
+	m.tTokens = cfg.Telemetry.Counter("clique", "token_passes", labels)
+	m.tStale = cfg.Telemetry.Counter("clique", "stale_tokens", labels)
+	m.tElections = cfg.Telemetry.Counter("clique", "elections", labels)
+	m.tEpochBumps = cfg.Telemetry.Counter("clique", "epoch_bumps", labels)
+	m.tProbeErrs = cfg.Telemetry.Counter("clique", "probe_errors", labels)
+	return m
 }
 
 // Stats returns a snapshot of the member's counters.
@@ -208,6 +228,7 @@ func (m *Member) dispatch(msg proto.Message) {
 		m.mu.Lock()
 		if msg.Epoch > m.epoch {
 			m.epoch = msg.Epoch
+			m.tEpochBumps.Inc()
 			// Sequence numbers restart with the epoch: a coordinator
 			// elected after a member rebuild issues tokens from a low
 			// sequence, which must not look stale against the watermark
@@ -234,9 +255,11 @@ func (m *Member) handleToken(tok proto.Message) {
 		// while survivors may sit hundreds of passes in).
 		m.epoch = tok.Epoch
 		m.lastSeq = 0
+		m.tEpochBumps.Inc()
 	}
 	if tok.Epoch < m.epoch || tok.TokenSeq <= m.lastSeq {
 		m.stats.StaleTokens++
+		m.tStale.Inc()
 		m.mu.Unlock()
 		return
 	}
@@ -251,6 +274,7 @@ func (m *Member) holdToken() {
 	m.stats.TokensHeld++
 	me := m.port.Host()
 	m.mu.Unlock()
+	m.tTokens.Inc()
 
 	for i := 1; i < len(m.cfg.Members); i++ {
 		if m.isStopped() {
@@ -262,6 +286,7 @@ func (m *Member) holdToken() {
 		if err != nil {
 			m.stats.ProbeErrors++
 			m.mu.Unlock()
+			m.tProbeErrs.Inc()
 			continue
 		}
 		m.stats.ExperimentsRun++
@@ -367,6 +392,7 @@ func (m *Member) runElection() {
 	m.stats.Elections++
 	newEpoch := m.epoch + 1
 	m.mu.Unlock()
+	m.tElections.Inc()
 
 	anyHigher := false
 	for i := 0; i < m.idx; i++ {
@@ -407,6 +433,7 @@ func (m *Member) runElection() {
 	m.epoch = newEpoch
 	m.lastSeq++
 	m.mu.Unlock()
+	m.tEpochBumps.Inc()
 	for i, peer := range m.cfg.Members {
 		if i == m.idx {
 			continue

@@ -14,12 +14,14 @@ package gateway
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/query"
+	"nwsenv/internal/telemetry"
 )
 
 // maxConcurrentRequests bounds the requests a gateway serves at once:
@@ -35,6 +37,12 @@ type Server struct {
 	ns  *nameserver.Client
 	qc  *query.Client
 	sem proto.Inbox // admission tokens, maxConcurrentRequests deep
+
+	tele     *telemetry.Registry
+	inflight atomic.Int64
+	depth    *telemetry.Gauge   // gateway/queue_depth: in-flight requests (max = watermark)
+	queued   *telemetry.Counter // gateway/admission_queued: requests that waited for a token
+	requests *telemetry.Counter
 }
 
 // New creates a gateway on st, querying the deployment through the name
@@ -55,6 +63,18 @@ func New(st proto.Port, nsHost string, opts ...query.Option) *Server {
 
 // Name returns the gateway's directory name.
 func (s *Server) Name() string { return "gateway." + s.st.Host() }
+
+// SetTelemetry instruments the gateway (and its embedded query client)
+// against r: queue-depth gauge with watermark, admission-wait and
+// per-type request counters, and a span per served request. Call before
+// Run; a nil registry leaves the gateway uninstrumented.
+func (s *Server) SetTelemetry(r *telemetry.Registry) {
+	s.tele = r
+	s.depth = r.Gauge("gateway", "queue_depth", nil)
+	s.queued = r.Counter("gateway", "admission_queued", nil)
+	s.requests = r.Counter("gateway", "requests", nil)
+	s.qc.SetTelemetry(r)
+}
 
 // Run serves query requests until the station closes. Each request is
 // answered on its own runtime process, so slow backends stall only
@@ -86,16 +106,27 @@ func (s *Server) Run() {
 // are already in flight) and serves the request on its own runtime
 // process, returning the token when done.
 func (s *Server) admit(req proto.Message, name string, handle func(proto.Message)) {
+	if s.inflight.Load() >= maxConcurrentRequests {
+		s.queued.Inc()
+	}
 	if _, ok := s.sem.Recv(); !ok {
 		return
 	}
+	s.requests.Inc()
+	s.depth.Set(float64(s.inflight.Add(1)))
 	s.st.Runtime().Go(name, func() {
-		defer s.sem.Send(proto.Message{})
+		defer func() {
+			s.depth.Set(float64(s.inflight.Add(-1)))
+			s.sem.Send(proto.Message{})
+		}()
 		handle(req)
 	})
 }
 
 func (s *Server) handleFetch(req proto.Message) {
+	sp := s.tele.StartSpan("gateway", "fetch",
+		telemetry.Attr{Key: "queries", Value: fmt.Sprint(len(req.Queries))})
+	defer sp.End()
 	if req.Version > proto.V2 {
 		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V2)
 		return
@@ -113,6 +144,9 @@ func (s *Server) handleFetch(req proto.Message) {
 }
 
 func (s *Server) handleForecast(req proto.Message) {
+	sp := s.tele.StartSpan("gateway", "forecast",
+		telemetry.Attr{Key: "queries", Value: fmt.Sprint(len(req.Queries))})
+	defer sp.End()
 	if req.Version > proto.V2 {
 		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V2)
 		return

@@ -20,6 +20,7 @@ import (
 	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
+	"nwsenv/internal/telemetry"
 )
 
 // PairwiseRole describes participation in a pairwise-scheduled group.
@@ -62,6 +63,12 @@ type Roles struct {
 	HostSensorPeriod time.Duration
 	// HostTrace overrides the synthetic host-resource trace.
 	HostTrace sensor.HostTrace
+
+	// Telemetry, when set, instruments the roles that report to the
+	// process-wide registry (gateway admission, clique ring traffic).
+	// Deliberately excluded from role signatures: wiring a registry
+	// must never force an agent rebuild.
+	Telemetry *telemetry.Registry
 }
 
 // Agent is a running host agent.
@@ -172,6 +179,7 @@ func (a *Agent) Start() {
 	}
 	if a.roles.Gateway && a.roles.NSHost != "" {
 		srv := gateway.New(a.port(keyGateway), a.roles.NSHost)
+		srv.SetTelemetry(a.roles.Telemetry)
 		a.rt.Go("gateway:"+hostName, srv.Run)
 	}
 	store := a.storeFn()

@@ -25,6 +25,7 @@ import (
 	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/telemetry"
 )
 
 // Structured query-plane errors. Use errors.Is: every failure a Client
@@ -110,6 +111,14 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithTelemetry mirrors the client's Stats counters onto the registry
+// (query/lookup_hits, query/lookup_calls, query/batch_calls,
+// query/forecast_hits, query/forecast_calls) and traces each batched
+// request (lookup, fan-out, per-backend round-trip) as spans.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(c *Client) { c.SetTelemetry(r) }
+}
+
 // Dialer is the slice of a platform a Client needs to open its own
 // endpoint: platform.Platform satisfies it.
 type Dialer interface {
@@ -162,6 +171,15 @@ type Client struct {
 	flights   map[string]*flight
 	forecasts map[string]fcEntry
 	stats     Stats
+
+	// Registry mirrors of the Stats counters (nil-safe: an unwired
+	// client increments nil instruments, which no-op).
+	tele           *telemetry.Registry
+	tLookupHits    *telemetry.Counter
+	tLookupCalls   *telemetry.Counter
+	tBatchCalls    *telemetry.Counter
+	tForecastHits  *telemetry.Counter
+	tForecastCalls *telemetry.Counter
 }
 
 // New builds a client that issues its queries through an existing port
@@ -213,6 +231,17 @@ func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// SetTelemetry wires (or re-wires) the registry mirrors; see
+// WithTelemetry. Call before issuing traffic.
+func (c *Client) SetTelemetry(r *telemetry.Registry) {
+	c.tele = r
+	c.tLookupHits = r.Counter("query", "lookup_hits", nil)
+	c.tLookupCalls = r.Counter("query", "lookup_calls", nil)
+	c.tBatchCalls = r.Counter("query", "batch_calls", nil)
+	c.tForecastHits = r.Counter("query", "forecast_hits", nil)
+	c.tForecastCalls = r.Counter("query", "forecast_calls", nil)
 }
 
 // InvalidateSeries drops a series from the discovery cache (tests and
@@ -299,6 +328,7 @@ func (c *Client) resolve(series string, bulkHint bool) (proto.Registration, erro
 	now := c.rt.Now()
 	if e, ok := c.series[series]; ok && e.expires > now {
 		c.stats.LookupHits++
+		c.tLookupHits.Inc()
 		if e.missing {
 			return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
 		}
@@ -326,7 +356,9 @@ func (c *Client) resolve(series string, bulkHint bool) (proto.Registration, erro
 		return proto.Registration{}, fmt.Errorf("%w: %s", ErrSeriesUnknown, series)
 	}
 	c.stats.LookupCalls++
+	c.tLookupCalls.Inc()
 	c.mu.Unlock()
+	sp := c.tele.StartSpan("query", "lookup", telemetry.Attr{Key: "key", Value: key})
 	var err error
 	if bulkHint {
 		var regs []proto.Registration
@@ -352,6 +384,7 @@ func (c *Client) resolve(series string, bulkHint bool) (proto.Registration, erro
 			c.series[series] = regEntry{reg: reg, missing: !found, expires: c.rt.Now() + ttl}
 		}
 	}
+	sp.End()
 	if err != nil {
 		err = fmt.Errorf("%w: name server: %v", ErrBackendDown, err)
 	}
@@ -393,6 +426,9 @@ func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
 // on the bounded worker pool. Results keep the request order; failures
 // are per-series (a dead backend fails only its series).
 func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
+	root := c.tele.StartSpan("query", "fetch_many",
+		telemetry.Attr{Key: "series", Value: fmt.Sprint(len(reqs))})
+	defer root.End()
 	results := make([]Result, len(reqs))
 	for i, q := range reqs {
 		results[i].Series = q.Series
@@ -456,9 +492,13 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 		c.mu.Lock()
 		c.stats.BatchCalls++
 		c.mu.Unlock()
+		c.tBatchCalls.Inc()
+		bsp := root.Child("backend", telemetry.Attr{Key: "host", Value: host},
+			telemetry.Attr{Key: "series", Value: fmt.Sprint(len(batch))})
 		reply, err := c.port.Call(host, proto.Message{
 			Type: proto.MsgBatchFetch, Version: proto.V2, Queries: batch,
 		}, c.timeout)
+		bsp.End()
 		if err != nil {
 			c.dropBackend(host)
 			for _, i := range idxs {
@@ -493,20 +533,26 @@ func (c *Client) Forecast(series string, history int) (predict.Prediction, error
 // locally, the misses shard across the registered forecasters (stable
 // by series hash) with one V2 round-trip per forecaster.
 func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
+	root := c.tele.StartSpan("query", "forecast_many",
+		telemetry.Attr{Key: "series", Value: fmt.Sprint(len(reqs))})
+	defer root.End()
 	results := make([]ForecastResult, len(reqs))
 	now := c.rt.Now()
 	var missIdx []int
+	hits := 0
 	c.mu.Lock()
 	for i, q := range reqs {
 		results[i].Series = q.Series
 		if e, ok := c.forecasts[fcKey(q)]; ok && e.expires > now {
 			results[i].Prediction = e.pred
 			c.stats.ForecastHits++
+			hits++
 			continue
 		}
 		missIdx = append(missIdx, i)
 	}
 	c.mu.Unlock()
+	c.tForecastHits.Add(int64(hits))
 	if len(missIdx) == 0 {
 		return results
 	}
@@ -546,9 +592,14 @@ func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
 		c.stats.BatchCalls++
 		c.stats.ForecastCalls += len(idxs)
 		c.mu.Unlock()
+		c.tBatchCalls.Inc()
+		c.tForecastCalls.Add(int64(len(idxs)))
+		bsp := root.Child("backend", telemetry.Attr{Key: "host", Value: host},
+			telemetry.Attr{Key: "series", Value: fmt.Sprint(len(batch))})
 		reply, err := c.port.Call(host, proto.Message{
 			Type: proto.MsgBatchForecast, Version: proto.V2, Queries: batch,
 		}, c.timeout)
+		bsp.End()
 		if err != nil {
 			c.dropForecaster(host)
 			for _, i := range idxs {
@@ -599,6 +650,7 @@ func (c *Client) forecasterList() ([]proto.Registration, error) {
 		return nil, fmt.Errorf("%w: no forecaster registered", ErrBackendDown)
 	}
 	c.stats.LookupCalls++
+	c.tLookupCalls.Inc()
 	c.mu.Unlock()
 	regs, err := c.ns.LookupKind("forecaster", "")
 	c.mu.Lock()

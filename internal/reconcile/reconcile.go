@@ -146,31 +146,52 @@ func (r *Reconciler) sleep(ctx context.Context, d time.Duration) error {
 }
 
 // Step executes one reconcile pass: probe, re-map, re-plan, diff,
-// repair. It records and returns the round.
+// repair. It records and returns the round. When the pipeline carries a
+// telemetry registry, the pass is traced as a "round" span with
+// children for each stage, and the round counters land on the registry.
 func (r *Reconciler) Step(ctx context.Context) Round {
 	rt := r.pl.Platform().Runtime()
+	tele := r.pl.Telemetry()
 	round := Round{Started: rt.Now()}
+	sp := tele.StartSpan("reconcile", "round")
+	defer func() {
+		tele.Counter("reconcile", "rounds", nil).Inc()
+		if round.Err != nil {
+			tele.Counter("reconcile", "transient_errors", nil).Inc()
+		}
+		tele.Histogram("reconcile", "round_sec", nil).ObserveDuration(rt.Now() - round.Started)
+		sp.End()
+	}()
 
+	ps := sp.Child("probe")
 	live, dead, runs := r.liveRuns()
+	ps.End()
 	round.Live, round.Dead = live, dead
+	tele.Gauge("reconcile", "dead_hosts", nil).Set(float64(len(dead)))
 	probedAt := rt.Now()
 	if len(runs) == 0 {
 		round.Err = fmt.Errorf("reconcile: no mapping run has a live anchor")
 		return r.record(round)
 	}
 
+	ms := sp.Child("remap")
 	m, err := r.pl.Map(ctx, runs...)
+	ms.End()
 	if err != nil {
 		round.Err = fmt.Errorf("reconcile: remap: %w", err)
 		return r.record(round)
 	}
+	rs := sp.Child("replan")
 	pr, err := r.pl.Plan(m)
+	rs.End()
 	if err != nil {
 		round.Err = fmt.Errorf("reconcile: replan: %w", err)
 		return r.record(round)
 	}
 	round.Validation = pr.Validation
+	ds := sp.Child("diff")
 	round.Diff = deploy.DiffPlans(r.dep.Plan, pr.Plan)
+	ds.End()
 	if round.Diff.Empty() {
 		return r.record(round)
 	}
@@ -183,16 +204,22 @@ func (r *Reconciler) Step(ctx context.Context) Round {
 	} else {
 		round.DetectedAt = rt.Now()
 	}
+	sp.Annotate("dead", fmt.Sprint(len(dead)))
+	tele.Counter("reconcile", "drifts", nil).Inc()
 	r.pl.Observe(core.PhaseReconcile, "drift detected (%d dead): %s",
 		len(dead), strings.TrimSpace(round.Diff.String()))
 
+	as := sp.Child("apply_delta")
 	delta, err := r.dep.ApplyDelta(ctx, pr.Plan, m.Resolve)
+	as.End()
 	round.Delta = delta
 	if err != nil {
 		round.Err = fmt.Errorf("reconcile: %w", err)
 		return r.record(round)
 	}
 	round.RepairedAt = rt.Now()
+	tele.Counter("reconcile", "repairs", nil).Inc()
+	tele.Histogram("reconcile", "repair_sec", nil).ObserveDuration(round.RepairedAt - round.Started)
 	r.pl.Observe(core.PhaseReconcile, "repaired in %v: %s",
 		round.RepairedAt-round.Started, delta)
 	return r.record(round)

@@ -43,6 +43,10 @@ type Summary struct {
 	FinalProbed   int  `json:"final_probed"`
 	Converged     bool `json:"converged"`
 	Complete      bool `json:"complete"`
+	// Metrics is the run's final telemetry registry, flattened to metric
+	// name → value (keys sort deterministically in the JSON encoding).
+	// The slo "metrics" gates judge against this map.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Gates are the evaluated SLO assertions, in declaration order.
 	Gates []GateResult `json:"gates"`
 	// Pass is the conjunction of the gates.
@@ -86,6 +90,7 @@ func Summarize(res *Result) Summary {
 		FinalProbed:         res.FinalProbed,
 		Converged:           res.Converged,
 		Complete:            res.Complete,
+		Metrics:             res.Metrics,
 	}
 	s.Gates, s.Pass = EvaluateGates(res.Spec.SLO, &s)
 	return s
@@ -140,6 +145,13 @@ func WriteArtifacts(dir string, res *Result, prov Provenance) (Summary, error) {
 	}
 	if err := writeJSON(filepath.Join(dir, "provenance.json"), prov); err != nil {
 		return sum, err
+	}
+	// metrics.jsonl and trace.jsonl: every value derives from the
+	// virtual clock, so these are byte-deterministic per file + seed.
+	if res.Telemetry != nil {
+		if err := res.Telemetry.WriteArtifacts(dir); err != nil {
+			return sum, fmt.Errorf("scenlab: %w", err)
+		}
 	}
 	return sum, nil
 }

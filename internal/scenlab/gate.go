@@ -65,6 +65,25 @@ func EvaluateGates(slo SLOSpec, s *Summary) ([]GateResult, bool) {
 			fmt.Sprintf("converged=%v complete=%v", s.Converged, s.Complete),
 			s.Converged && s.Complete)
 	}
+	for _, m := range slo.Metrics {
+		var bounds []string
+		if m.Min != nil {
+			bounds = append(bounds, fmt.Sprintf(">= %g", *m.Min))
+		}
+		if m.Max != nil {
+			bounds = append(bounds, fmt.Sprintf("<= %g", *m.Max))
+		}
+		threshold := strings.Join(bounds, " and ")
+		v, ok := s.Metrics[m.Metric]
+		if !ok {
+			// A metric the run never recorded fails the gate: a typoed
+			// name must not pass vacuously.
+			add("metric "+m.Metric, threshold, "absent", false)
+			continue
+		}
+		pass := (m.Min == nil || v >= *m.Min) && (m.Max == nil || v <= *m.Max)
+		add("metric "+m.Metric, threshold, fmt.Sprintf("%g", v), pass)
+	}
 	pass := true
 	for _, g := range gates {
 		pass = pass && g.Pass

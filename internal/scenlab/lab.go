@@ -13,6 +13,7 @@ import (
 	"nwsenv/internal/platform"
 	"nwsenv/internal/reconcile"
 	"nwsenv/internal/simnet"
+	"nwsenv/internal/telemetry"
 	"nwsenv/internal/vclock"
 )
 
@@ -60,6 +61,13 @@ type Result struct {
 	Converged, Complete bool
 	// VirtualSec is the observed span from apply to the final sample.
 	VirtualSec int64
+	// Telemetry is the run's registry: every subsystem counter and
+	// trace span, clocked by the virtual clock — the source of the
+	// metrics.jsonl and trace.jsonl artifacts and the SLO metric gates.
+	Telemetry *telemetry.Registry
+	// Metrics is the final registry snapshot, flattened to metric name
+	// → value (captured at the judged end of the run, before teardown).
+	Metrics map[string]float64
 }
 
 // Run executes one scenario: build the declared topology, deploy
@@ -77,7 +85,12 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	sim := vclock.New()
 	net := simnet.NewNetwork(sim, tp)
 	plat := platform.NewSimPlatform(net, proto.NewSimTransport(net))
-	pl := core.NewPipeline(plat, core.WithAutoAliases(), core.WithTokenGap(time.Second))
+	// The run's telemetry plane reads the virtual clock, so every
+	// reading and span boundary is a function of scenario + seed.
+	reg := telemetry.New(sim.Now)
+	simnet.RegisterTelemetry(reg, net)
+	pl := core.NewPipeline(plat, core.WithAutoAliases(), core.WithTokenGap(time.Second),
+		core.WithTelemetry(reg))
 
 	// Deploy, driving virtual time in bounded steps (agents generate
 	// events forever once running, so one long RunUntil would never
@@ -121,7 +134,7 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	recDone := false
 	sim.Go("reconcile", func() { rec.Run(ctx); recDone = true })
 
-	res := &Result{Spec: spec, Seed: seed}
+	res := &Result{Spec: spec, Seed: seed, Telemetry: reg}
 	advance := func(until time.Duration) error {
 		if until > sim.Now() {
 			return sim.RunUntil(until)
@@ -257,6 +270,9 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	}
 	res.MaxForecastGapTicks = maxForecastGap(res.Samples)
 	dep.Stop()
+	// Final flatten happens after teardown so the gated metrics match the
+	// metrics.jsonl artifact rendered from the same registry.
+	res.Metrics = reg.Snapshot().Flatten()
 	return res, nil
 }
 

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"nwsenv/internal/telemetry"
 )
 
 // labSpec is a small, fast scenario for harness tests: a 2×2 LAN, short
@@ -78,14 +81,16 @@ func TestRunFailsUnmeetableAssertion(t *testing.T) {
 }
 
 // TestRunDeterministic: the same committed scenario file and seed must
-// produce byte-identical summary.json and samples.jsonl artifacts —
-// the property the matrix's rerun column and CI replays rely on.
+// produce byte-identical artifacts — summary.json, samples.jsonl, and
+// the telemetry pair metrics.jsonl + trace.jsonl — the property the
+// matrix's rerun column and CI replays rely on.
 func TestRunDeterministic(t *testing.T) {
 	f, err := LoadFile(filepath.Join("..", "..", "scenarios", "crash.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	artifacts := func(dir string) (sum, samples []byte) {
+	names := []string{"summary.json", "samples.jsonl", "metrics.jsonl", "trace.jsonl"}
+	artifacts := func(dir string) map[string][]byte {
 		t.Helper()
 		res, err := Run(f.Spec, f.Spec.Seed)
 		if err != nil {
@@ -94,24 +99,54 @@ func TestRunDeterministic(t *testing.T) {
 		if _, err := WriteArtifacts(dir, res, NewProvenance(f, f.Spec.Seed, 1)); err != nil {
 			t.Fatal(err)
 		}
-		sum, err = os.ReadFile(filepath.Join(dir, "summary.json"))
-		if err != nil {
-			t.Fatal(err)
+		out := map[string][]byte{}
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("%s is empty", name)
+			}
+			out[name] = data
 		}
-		samples, err = os.ReadFile(filepath.Join(dir, "samples.jsonl"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return sum, samples
+		return out
 	}
 	base := t.TempDir()
-	sum1, samples1 := artifacts(filepath.Join(base, "one"))
-	sum2, samples2 := artifacts(filepath.Join(base, "two"))
-	if string(sum1) != string(sum2) {
-		t.Errorf("summary.json not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", sum1, sum2)
+	one := artifacts(filepath.Join(base, "one"))
+	two := artifacts(filepath.Join(base, "two"))
+	for _, name := range names {
+		if string(one[name]) != string(two[name]) {
+			t.Errorf("%s not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", name, one[name], two[name])
+		}
 	}
-	if string(samples1) != string(samples2) {
-		t.Errorf("samples.jsonl not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", samples1, samples2)
+}
+
+// TestTraceDetectsWallClockContamination is the negative control for
+// TestRunDeterministic: a span carrying wall-clock timestamps must
+// change the rendered trace bytes, proving the byte-equality check
+// would actually catch a subsystem that timed itself off time.Now
+// instead of the platform clock.
+func TestTraceDetectsWallClockContamination(t *testing.T) {
+	res, err := Run(labSpec(t), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := res.Telemetry.RenderTraceJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Duration(time.Now().UnixNano())
+	res.Telemetry.RecordSpan(telemetry.Span{
+		Subsystem: "pipeline", Name: "contaminated",
+		Start: wall, End: wall + time.Millisecond,
+	})
+	dirty, err := res.Telemetry.RenderTraceJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(clean) == string(dirty) {
+		t.Fatal("a wall-clock span left the trace bytes unchanged; the determinism check is toothless")
 	}
 }
 

@@ -171,6 +171,22 @@ type SLOSpec struct {
 	// Converged asserts the last reconcile round saw no drift and the
 	// final plan validates complete.
 	Converged bool `json:"converged,omitempty"`
+	// Metrics gates on the run's telemetry registry, addressed by
+	// flattened metric name (e.g. "reconcile/rounds",
+	// "gateway/queue_depth:max", "reconcile/round_sec:p95"). A gate on a
+	// metric the run never recorded fails — asserting on a typoed name
+	// must not pass vacuously.
+	Metrics []MetricGate `json:"metrics,omitempty"`
+}
+
+// MetricGate bounds one registry metric. At least one of Min/Max must
+// be present; both inclusive.
+type MetricGate struct {
+	// Metric is the flattened registry name: subsystem/name with
+	// optional {labels} and :max/:count/:sum/:p50/:p95/:p99 suffixes.
+	Metric string   `json:"metric"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
 }
 
 // Decode parses and validates one scenario file. Unknown fields are
@@ -220,6 +236,17 @@ func (s *Spec) Validate() error {
 	}
 	if s.ReconcileEverySec < 0 || s.SampleEverySec < 0 {
 		return fmt.Errorf("scenlab: %s: pacing intervals must not be negative", s.Name)
+	}
+	for i, m := range s.SLO.Metrics {
+		if m.Metric == "" {
+			return fmt.Errorf("scenlab: %s: slo metrics[%d] has no metric name", s.Name, i)
+		}
+		if m.Min == nil && m.Max == nil {
+			return fmt.Errorf("scenlab: %s: slo metric %q needs min and/or max", s.Name, m.Metric)
+		}
+		if m.Min != nil && m.Max != nil && *m.Min > *m.Max {
+			return fmt.Errorf("scenlab: %s: slo metric %q has min %g > max %g", s.Name, m.Metric, *m.Min, *m.Max)
+		}
 	}
 	return s.Fault.validate(s.Name)
 }

@@ -78,6 +78,7 @@ func (n *Network) settleFlowLocked(f *flow, now time.Duration) {
 		f.remaining -= f.rate * dt
 	}
 	f.settledAt = now
+	n.settles++
 }
 
 // componentLocked walks the flow⇄resource sharing graph from the seed

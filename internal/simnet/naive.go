@@ -22,6 +22,7 @@ func (n *Network) settleAllLocked() {
 			f.remaining -= f.rate * dt
 			f.settledAt = now
 		}
+		n.settles += int64(len(n.order))
 	}
 	n.lastSettle = now
 }

@@ -122,6 +122,10 @@ type Network struct {
 	collisionIdx map[collisionKey]*CollisionEvent
 	probeBytes   map[string]int64 // bytes transferred per tag
 	probeCount   map[string]int
+	// settles counts individual flow-settle operations: the unit of
+	// work of the fair-share engines (both incremental and naive), so
+	// it is the flow engine's cost meter.
+	settles int64
 }
 
 // NewNetwork binds a topology to a simulation using the incremental
