@@ -20,6 +20,12 @@
 //	benchjson -ratio-num 'BenchmarkScaleGridTransfersNaive/hosts=1000' \
 //	          -ratio-den 'BenchmarkScaleGridTransfers/hosts=1000' \
 //	          -ratio-min 10 BENCH_scale.json
+//
+// With -assert-max it asserts absolute per-benchmark metric ceilings
+// on one artifact. Machine-independent for deterministic metrics like
+// allocs/op — the CI gate for "the batch path stays within N allocs":
+//
+//	benchjson -assert-max 'BenchmarkQueryBatch/hosts=500:allocs/op<=170' BENCH_query.json
 package main
 
 import (
@@ -66,6 +72,7 @@ func main() {
 	ratioNum := flag.String("ratio-num", "", "numerator benchmark name for the -ratio-min assertion on one artifact")
 	ratioDen := flag.String("ratio-den", "", "denominator benchmark name for the -ratio-min assertion")
 	ratioMin := flag.Float64("ratio-min", 0, "minimum ns/op ratio num/den; non-zero enables the assertion")
+	assertMax := flag.String("assert-max", "", "comma-separated absolute ceilings 'bench:metric<=value' asserted on one artifact")
 	flag.Parse()
 	args := flag.Args()
 
@@ -84,6 +91,18 @@ func main() {
 		fmt.Printf("benchjson: %s / %s = %.1fx (minimum %.1fx)\n", *ratioNum, *ratioDen, ratio, *ratioMin)
 		if ratio < *ratioMin {
 			fmt.Fprintf(os.Stderr, "benchjson: ratio %.2f below required %.2f\n", ratio, *ratioMin)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *assertMax != "" {
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -assert-max needs one artifact file")
+			os.Exit(2)
+		}
+		if err := assertCeilings(args[0], *assertMax); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		return
@@ -225,6 +244,43 @@ func scrubCompareArgs(args []string, threshold *float64) ([]string, error) {
 }
 
 // artifactRatio returns ns/op(num) / ns/op(den) from one artifact.
+// assertCeilings parses 'bench:metric<=value' clauses and checks each
+// against the artifact, reporting every measured value as it goes.
+func assertCeilings(path, spec string) error {
+	art, err := readArtifact(path)
+	if err != nil {
+		return err
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		name, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return fmt.Errorf("-assert-max clause %q: want 'bench:metric<=value'", clause)
+		}
+		metric, lim, ok := strings.Cut(rest, "<=")
+		if !ok {
+			return fmt.Errorf("-assert-max clause %q: want 'bench:metric<=value'", clause)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(lim), 64)
+		if err != nil {
+			return fmt.Errorf("-assert-max clause %q: bad ceiling: %v", clause, err)
+		}
+		e, found := art.Benchmarks[name]
+		if !found {
+			return fmt.Errorf("-assert-max: benchmark %q not in %s", name, path)
+		}
+		v, found := e.Metrics[strings.TrimSpace(metric)]
+		if !found {
+			return fmt.Errorf("-assert-max: %s has no metric %q", name, metric)
+		}
+		fmt.Printf("benchjson: %s %s = %g (ceiling %g)\n", name, strings.TrimSpace(metric), v, max)
+		if v > max {
+			return fmt.Errorf("%s %s = %g exceeds ceiling %g", name, strings.TrimSpace(metric), v, max)
+		}
+	}
+	return nil
+}
+
 func artifactRatio(path, num, den string) (float64, error) {
 	art, err := readArtifact(path)
 	if err != nil {

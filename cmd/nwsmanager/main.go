@@ -27,6 +27,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,6 +72,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for all scenario randomness (fault timing, victim choice, churn order)")
 	interval := flag.Duration("reconcile-interval", 2*time.Minute, "reconcile round period (virtual, or wall-clock with -tcp)")
 	teleDir := flag.String("telemetry", "", "directory for telemetry artifacts: metrics.jsonl, trace.jsonl and snapshot.json (periodic under -watch, final flush on exit or SIGINT)")
+	pprofAddr := flag.String("pprof", "", "with -tcp: serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 	if *interval <= 0 {
 		// The reconciler and the scenario builder both pace off the
@@ -86,6 +90,26 @@ func main() {
 	observer := core.WithObserver(func(ph core.Phase, detail string) {
 		fmt.Fprintf(os.Stderr, "[%s] %s\n", ph, detail)
 	})
+
+	if *pprofAddr != "" {
+		// pprof only makes sense where the process does wall-clock
+		// work: the TCP platform. Simulated runs finish in milliseconds
+		// and would tear the server down before a profile lands.
+		if !*tcp {
+			fmt.Fprintln(os.Stderr, "nwsmanager: -pprof requires -tcp")
+			os.Exit(2)
+		}
+		ln, err := net.Listen("tcp", *pprofAddr)
+		check(err)
+		fmt.Fprintf(os.Stderr, "nwsmanager: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "nwsmanager: pprof server: %v\n", err)
+			}
+		}()
+		defer ln.Close()
+	}
 
 	if *tcp {
 		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, *teleDir, observer)
@@ -110,6 +134,19 @@ func main() {
 	runFromPlan(*topoFile, *planFile, *gridmlFile, *duration, *query, *pairwise)
 }
 
+// wireCodecTelemetry attaches the transport's codec counters
+// (proto/encode_total{version=...}, proto/bytes_out, proto/bytes_in)
+// to reg. Both transport implementations expose the hook; the
+// interface assertion keeps main agnostic of which one the platform
+// carries.
+func wireCodecTelemetry(p platform.Platform, reg *telemetry.Registry) {
+	if t, ok := p.Transport().(interface {
+		SetTelemetry(*telemetry.Registry)
+	}); ok {
+		t.SetTelemetry(reg)
+	}
+}
+
 // runAuto drives the whole pipeline on the simulated platform: one
 // command instead of the topogen→envmap→nwsdeploy→nwsmanager file
 // relay.
@@ -120,6 +157,7 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 	runs := se.MapRuns()
 	reg := telemetry.New(sim.Now)
 	simnet.RegisterTelemetry(reg, net)
+	wireCodecTelemetry(se.Plat, reg)
 	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), core.WithTelemetry(reg), observer}
 	if pairwise {
 		opts = append(opts, core.WithPairwiseSwitched())
@@ -166,6 +204,7 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	runs := se.MapRuns()
 	reg := telemetry.New(sim.Now)
 	simnet.RegisterTelemetry(reg, net)
+	wireCodecTelemetry(se.Plat, reg)
 	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), core.WithTelemetry(reg), observer}
 	if pairwise {
 		opts = append(opts, core.WithPairwiseSwitched())
@@ -329,6 +368,7 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPa
 	// On the TCP platform the registry reads the wall clock: the same
 	// instruments, honest timings instead of deterministic ones.
 	reg := telemetry.New(plat.Runtime().Now)
+	wireCodecTelemetry(plat, reg)
 	defer flushTelemetry(reg, teleDir)
 	pl := core.NewPipeline(plat,
 		core.WithGridLabel("loopback"),

@@ -131,9 +131,13 @@ func (s *Server) handleForecast(req proto.Message) {
 // insufficient history) are inline in the results; only a
 // protocol-level problem fails the whole batch.
 func (s *Server) handleBatchForecast(req proto.Message) {
-	if req.Version > proto.V2 {
-		s.st.ReplyError(req, "forecaster: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+	if req.Version > proto.V3 {
+		s.st.ReplyError(req, "forecaster: unsupported protocol version %d (max %d)", req.Version, proto.V3)
 		return
+	}
+	ver := req.Version
+	if ver < proto.V2 {
+		ver = proto.V2
 	}
 	fetches := make([]proto.SeriesRequest, len(req.Queries))
 	for i, q := range req.Queries {
@@ -149,7 +153,7 @@ func (s *Server) handleBatchForecast(req proto.Message) {
 		}
 		results[i] = predictSeries(fr.Series, fr.Samples)
 	}
-	s.st.Reply(req, proto.Message{Type: proto.MsgBatchForecastReply, Version: proto.V2, Forecasts: results})
+	s.st.Reply(req, proto.Message{Type: proto.MsgBatchForecastReply, Version: ver, Forecasts: results})
 }
 
 // Client requests forecasts from a forecaster server.
@@ -174,10 +178,10 @@ func (c *Client) Forecast(series string, history int) (Prediction, error) {
 	return Prediction{Value: reply.Value, MAE: reply.MAE, MSE: reply.MSE, Method: reply.Method, N: reply.Count}, nil
 }
 
-// BatchForecast asks for many series in one round-trip (V2). Results
-// keep the request order; per-series failures are inline.
+// BatchForecast asks for many series in one round-trip. Results keep
+// the request order; per-series failures are inline.
 func (c *Client) BatchForecast(reqs []proto.SeriesRequest) ([]proto.ForecastResult, error) {
-	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgBatchForecast, Version: proto.V2, Queries: reqs}, c.Timeout)
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgBatchForecast, Version: proto.V3, Queries: reqs}, c.Timeout)
 	if err != nil {
 		return nil, err
 	}

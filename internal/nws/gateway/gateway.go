@@ -124,11 +124,13 @@ func (s *Server) admit(req proto.Message, name string, handle func(proto.Message
 }
 
 func (s *Server) handleFetch(req proto.Message) {
-	sp := s.tele.StartSpan("gateway", "fetch",
-		telemetry.Attr{Key: "queries", Value: fmt.Sprint(len(req.Queries))})
-	defer sp.End()
-	if req.Version > proto.V2 {
-		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+	if s.tele != nil {
+		sp := s.tele.StartSpan("gateway", "fetch",
+			telemetry.Attr{Key: "queries", Value: fmt.Sprint(len(req.Queries))})
+		defer sp.End()
+	}
+	if req.Version > proto.V3 {
+		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V3)
 		return
 	}
 	res := s.qc.FetchMany(req.Queries)
@@ -140,15 +142,17 @@ func (s *Server) handleFetch(req proto.Message) {
 			out[i].Code = query.ErrCode(r.Err)
 		}
 	}
-	s.st.Reply(req, proto.Message{Type: proto.MsgQueryFetchReply, Version: proto.V2, Results: out})
+	s.st.Reply(req, proto.Message{Type: proto.MsgQueryFetchReply, Version: replyVersion(req.Version), Results: out})
 }
 
 func (s *Server) handleForecast(req proto.Message) {
-	sp := s.tele.StartSpan("gateway", "forecast",
-		telemetry.Attr{Key: "queries", Value: fmt.Sprint(len(req.Queries))})
-	defer sp.End()
-	if req.Version > proto.V2 {
-		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+	if s.tele != nil {
+		sp := s.tele.StartSpan("gateway", "forecast",
+			telemetry.Attr{Key: "queries", Value: fmt.Sprint(len(req.Queries))})
+		defer sp.End()
+	}
+	if req.Version > proto.V3 {
+		s.st.ReplyError(req, "gateway: unsupported protocol version %d (max %d)", req.Version, proto.V3)
 		return
 	}
 	res := s.qc.ForecastMany(req.Queries)
@@ -163,7 +167,19 @@ func (s *Server) handleForecast(req proto.Message) {
 			out[i].Code = query.ErrCode(r.Err)
 		}
 	}
-	s.st.Reply(req, proto.Message{Type: proto.MsgQueryForecastReply, Version: proto.V2, Forecasts: out})
+	s.st.Reply(req, proto.Message{Type: proto.MsgQueryForecastReply, Version: replyVersion(req.Version), Forecasts: out})
+}
+
+// replyVersion echoes a request's version so each caller gets replies
+// priced (and encoded) at its own wire version, clamped to [V2, V3].
+func replyVersion(v int) int {
+	if v < proto.V2 {
+		return proto.V2
+	}
+	if v > proto.V3 {
+		return proto.V3
+	}
+	return v
 }
 
 // Client is an end user's handle on a deployment's query gateway.
@@ -203,7 +219,7 @@ func Discover(st proto.Port, nsHost string) (proto.Registration, error) {
 		return proto.Registration{}, fmt.Errorf("%w: no gateway registered", query.ErrBackendDown)
 	}
 	for _, reg := range regs {
-		_, err := st.Call(reg.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V2}, discoverProbeTimeout)
+		_, err := st.Call(reg.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V3}, discoverProbeTimeout)
 		if err == nil {
 			return reg, nil
 		}
@@ -216,7 +232,7 @@ func Discover(st proto.Port, nsHost string) (proto.Registration, error) {
 // errors (errors.Is ErrSeriesUnknown / ErrBackendDown works across the
 // wire).
 func (c *Client) FetchMany(reqs []proto.SeriesRequest) ([]query.Result, error) {
-	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V2, Queries: reqs}, c.Timeout)
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgQueryFetch, Version: proto.V3, Queries: reqs}, c.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +259,7 @@ func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
 // gateway. Like FetchMany, per-series failures carry the structured
 // query errors rehydrated from the wire.
 func (c *Client) ForecastMany(reqs []proto.SeriesRequest) ([]query.ForecastResult, error) {
-	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgQueryForecast, Version: proto.V2, Queries: reqs}, c.Timeout)
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgQueryForecast, Version: proto.V3, Queries: reqs}, c.Timeout)
 	if err != nil {
 		return nil, err
 	}

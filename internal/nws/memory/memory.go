@@ -183,21 +183,48 @@ func (s *Server) handleFetch(req proto.Message) {
 	s.st.Reply(req, proto.Message{Type: proto.MsgFetchReply, Series: req.Series, Samples: out})
 }
 
-// handleBatchFetch answers a V2 batch fetch: every requested series in
+// handleBatchFetch answers a batch fetch: every requested series in
 // one round-trip. Unknown series come back empty (like single Fetch);
-// results keep the request order.
+// results keep the request order. The reply echoes the request's
+// version so V2 and V3 callers each get replies priced (and encoded)
+// at their own wire version.
 func (s *Server) handleBatchFetch(req proto.Message) {
-	if req.Version > proto.V2 {
-		s.st.ReplyError(req, "memory: unsupported protocol version %d (max %d)", req.Version, proto.V2)
+	if req.Version > proto.V3 {
+		s.st.ReplyError(req, "memory: unsupported protocol version %d (max %d)", req.Version, proto.V3)
 		return
+	}
+	ver := req.Version
+	if ver < proto.V2 {
+		ver = proto.V2
 	}
 	results := make([]proto.SeriesResult, len(req.Queries))
 	s.mu.Lock()
+	// One backing array for every result's samples instead of one copy
+	// per series; capacity-pinned subslices keep neighbors safe from a
+	// receiver's append.
+	total := 0
+	for _, q := range req.Queries {
+		total += clampCount(len(s.series[q.Series]), q.Count)
+	}
+	backing := make([]proto.Sample, 0, total)
 	for i, q := range req.Queries {
-		results[i] = proto.SeriesResult{Series: q.Series, Samples: lastN(s.series[q.Series], q.Count)}
+		buf := s.series[q.Series]
+		n := clampCount(len(buf), q.Count)
+		start := len(backing)
+		backing = append(backing, buf[len(buf)-n:]...)
+		results[i] = proto.SeriesResult{Series: q.Series, Samples: backing[start:len(backing):len(backing)]}
 	}
 	s.mu.Unlock()
-	s.st.Reply(req, proto.Message{Type: proto.MsgBatchFetchReply, Version: proto.V2, Results: results})
+	s.st.Reply(req, proto.Message{Type: proto.MsgBatchFetchReply, Version: ver, Results: results})
+}
+
+// clampCount resolves a request's Count against the retained window
+// length (<= 0 or oversized asks for the full window).
+func clampCount(have, want int) int {
+	if want <= 0 || want > have {
+		return have
+	}
+	return want
 }
 
 // SeriesNames lists stored series (for tests and tools).
@@ -287,7 +314,7 @@ func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
 // BatchFetch returns many series in one round-trip (V2). Results keep
 // the request order; per-series Count semantics match Fetch.
 func (c *Client) BatchFetch(reqs []proto.SeriesRequest) ([]proto.SeriesResult, error) {
-	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgBatchFetch, Version: proto.V2, Queries: reqs}, c.Timeout)
+	reply, err := c.St.Call(c.Host, proto.Message{Type: proto.MsgBatchFetch, Version: proto.V3, Queries: reqs}, c.Timeout)
 	if err != nil {
 		return nil, err
 	}

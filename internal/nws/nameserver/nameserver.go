@@ -77,11 +77,14 @@ func (s *Server) handleLookup(req proto.Message) {
 		}
 	} else {
 		// Kind and/or prefix search. Deterministic order: sort by name.
-		var names []string
+		// Both slices are sized for the no-filter common case (the bulk
+		// directory refresh) so a full listing grows nothing.
+		names := make([]string, 0, len(s.entries))
 		for n := range s.entries {
 			names = append(names, n)
 		}
 		sort.Strings(names)
+		out = make([]proto.Registration, 0, len(names))
 		for _, n := range names {
 			e := s.entries[n]
 			if e.Expires <= now {

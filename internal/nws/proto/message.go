@@ -102,12 +102,16 @@ type Sample struct {
 
 // Protocol versions. Version 1 is the original single-shot vocabulary;
 // version 2 adds the batch query plane (BatchFetch/BatchForecast and
-// the gateway's Query* forms). A zero Version on the wire means V1:
-// old clients keep working unchanged.
+// the gateway's Query* forms); version 3 keeps the V2 vocabulary but
+// switches the encoding to the compact length-prefixed binary codec
+// (codec.go) on transports that negotiate it, with exact WireSize
+// accounting in simulation. A zero Version on the wire means V1: old
+// clients keep working unchanged.
 const (
 	V1 = 1
-	// V2 is the current query-plane version.
 	V2 = 2
+	// V3 is the current query-plane version.
+	V3 = 3
 )
 
 // Per-series error codes carried inside batch results, so structured
@@ -189,23 +193,36 @@ type Message struct {
 	Epoch    int64 // election epoch
 }
 
-// WireSize is a rough size estimate used by the simulated transport to
-// charge serialization delay for control messages.
+// WireSize is the byte cost the simulated transport charges for a
+// message. V3 messages are priced at their exact encoded frame length
+// (payload plus the 4-byte length prefix), so simulated bandwidth
+// costs track the real wire; V1/V2 messages keep the historical gob
+// estimate so pre-V3 timings stay comparable.
 func (m *Message) WireSize() int64 {
+	if m.Version >= V3 {
+		return int64(EncodedSize(m)) + frameHeaderSize
+	}
 	n := int64(128)
 	n += int64(len(m.From) + len(m.Error) + len(m.Kind) + len(m.Name) + len(m.Series) + len(m.Method) + len(m.Clique))
 	n += int64(len(m.Samples)) * 16
-	for _, r := range append(m.Regs, m.Reg) {
-		n += int64(len(r.Name)+len(r.Kind)+len(r.Host)+len(r.Owner)) + 16
+	n += regEstimate(&m.Reg)
+	for i := range m.Regs {
+		n += regEstimate(&m.Regs[i])
 	}
 	for _, q := range m.Queries {
 		n += int64(len(q.Series)) + 8
 	}
-	for _, r := range m.Results {
+	for i := range m.Results {
+		r := &m.Results[i]
 		n += int64(len(r.Series)+len(r.Error)+len(r.Code)) + int64(len(r.Samples))*16
 	}
-	for _, f := range m.Forecasts {
+	for i := range m.Forecasts {
+		f := &m.Forecasts[i]
 		n += int64(len(f.Series)+len(f.Method)+len(f.Error)+len(f.Code)) + 40
 	}
 	return n
+}
+
+func regEstimate(r *Registration) int64 {
+	return int64(len(r.Name)+len(r.Kind)+len(r.Host)+len(r.Owner)) + 16
 }

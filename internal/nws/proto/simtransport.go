@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nwsenv/internal/simnet"
+	"nwsenv/internal/telemetry"
 )
 
 // SimTransport delivers messages over a simnet.Network: each message is
@@ -19,6 +20,7 @@ type SimTransport struct {
 	eps     map[string]*simEndpoint
 	down    map[string]bool
 	blocked map[string]bool // "a|b" unordered pair -> messages dropped
+	stats   *wireStats
 }
 
 // NewSimTransport builds a transport over net.
@@ -30,6 +32,16 @@ func NewSimTransport(net *simnet.Network) *SimTransport {
 		down:    map[string]bool{},
 		blocked: map[string]bool{},
 	}
+}
+
+// SetTelemetry wires the transport's codec counters
+// (proto/encode_total{version=...}, proto/bytes_out, proto/bytes_in)
+// into reg. Simulated messages are never byte-encoded, so each is
+// counted at its WireSize — the same cost the network charges.
+func (t *SimTransport) SetTelemetry(reg *telemetry.Registry) {
+	t.mu.Lock()
+	t.stats = newWireStats(reg)
+	t.mu.Unlock()
 }
 
 // Runtime implements Transport.
@@ -107,6 +119,7 @@ func (e *simEndpoint) Send(to string, m Message) error {
 	t.mu.Lock()
 	srcDown, dstDown := t.down[e.host], t.down[to]
 	pairBlocked := t.isBlocked(e.host, to)
+	stats := t.stats
 	t.mu.Unlock()
 	// Network-level crashes (fault injection) take hosts down too.
 	srcDown = srcDown || t.net.HostDown(e.host)
@@ -120,7 +133,15 @@ func (e *simEndpoint) Send(to string, m Message) error {
 		return nil
 	}
 	if to == e.host {
-		// Local delivery, no network.
+		// Local delivery: no network charge, but the codec counters
+		// still tick — the TCP transport encodes loopback traffic (a
+		// self-dial runs through the framing layer), and the telemetry
+		// planes must agree on what "encoded" means.
+		if stats != nil {
+			size := m.WireSize()
+			stats.encoded(wireVersionOf(&m), size)
+			stats.received(size)
+		}
 		e.inbox.Send(m)
 		return nil
 	}
@@ -129,7 +150,9 @@ func (e *simEndpoint) Send(to string, m Message) error {
 	if dstDown {
 		return nil
 	}
-	return t.net.Deliver(e.host, to, m.WireSize(), func() {
+	size := m.WireSize()
+	stats.encoded(wireVersionOf(&m), size)
+	return t.net.Deliver(e.host, to, size, func() {
 		t.mu.Lock()
 		dst := t.eps[to]
 		deadNow := t.down[to]
@@ -137,6 +160,7 @@ func (e *simEndpoint) Send(to string, m Message) error {
 		if dst == nil || deadNow || t.net.HostDown(to) {
 			return
 		}
+		stats.received(size)
 		dst.inbox.Send(m)
 	})
 }

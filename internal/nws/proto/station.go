@@ -46,6 +46,12 @@ type Station struct {
 	pending map[int64]Inbox
 	app     Inbox
 	closed  bool
+	// boxes recycles drained call inboxes. Only the success path
+	// recycles: a reply is delivered after the pump removes the pending
+	// entry, so a consumed box can never receive a late duplicate. A
+	// timed-out call's box is closed instead — a straggler reply must
+	// land in a closed box and be dropped, not leak into the next call.
+	boxes []Inbox
 }
 
 // NewStation wraps ep and starts the demultiplexing pump.
@@ -109,18 +115,27 @@ func (s *Station) Send(to string, m Message) error {
 // reply arrives or the timeout expires.
 func (s *Station) Call(to string, m Message, timeout time.Duration) (Message, error) {
 	m.From = s.ep.Host()
-	m.ID = s.newID()
-	box := s.rt.NewInbox(fmt.Sprintf("call:%s:%d", s.ep.Host(), m.ID))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return Message{}, fmt.Errorf("%w: %s", ErrClosed, s.ep.Host())
+	}
+	s.nextID++
+	m.ID = s.nextID
+	var box Inbox
+	if n := len(s.boxes); n > 0 {
+		box = s.boxes[n-1]
+		s.boxes[n-1] = nil
+		s.boxes = s.boxes[:n-1]
+	} else {
+		box = s.rt.NewInbox("call:" + s.ep.Host())
 	}
 	s.pending[m.ID] = box
 	s.mu.Unlock()
 	if err := s.ep.Send(to, m); err != nil {
 		s.mu.Lock()
 		delete(s.pending, m.ID)
+		s.boxes = append(s.boxes, box)
 		s.mu.Unlock()
 		return Message{}, err
 	}
@@ -130,6 +145,7 @@ func (s *Station) Call(to string, m Message, timeout time.Duration) (Message, er
 		closed := s.closed
 		delete(s.pending, m.ID)
 		s.mu.Unlock()
+		box.Close()
 		// Distinguish teardown from a genuine timeout: Close releases
 		// pending boxes, and callers (retry loops like KeepRegistered)
 		// must see ErrClosed, not a fabricated timeout.
@@ -138,6 +154,11 @@ func (s *Station) Call(to string, m Message, timeout time.Duration) (Message, er
 		}
 		return Message{}, fmt.Errorf("proto: %s: call %v to %s timed out after %v", s.ep.Host(), m.Type, to, timeout)
 	}
+	s.mu.Lock()
+	if !s.closed {
+		s.boxes = append(s.boxes, box)
+	}
+	s.mu.Unlock()
 	if reply.Error != "" {
 		return reply, fmt.Errorf("proto: %s replied: %s", to, reply.Error)
 	}
@@ -172,6 +193,10 @@ func (s *Station) Close() error {
 		box.Close()
 		delete(s.pending, id)
 	}
+	for _, box := range s.boxes {
+		box.Close()
+	}
+	s.boxes = nil
 	s.mu.Unlock()
 	return s.ep.Close()
 }

@@ -1,32 +1,78 @@
 package proto
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+
+	"nwsenv/internal/telemetry"
 )
 
+// Wire negotiation. A negotiating dialer opens every connection with a
+// 5-byte hello — the 4-byte magic followed by the highest wire version
+// it speaks. The acceptor answers with one byte, min(its max, the
+// dialer's max), and both sides use that version for the life of the
+// connection: compact length-prefixed frames (codec.go) at V3, gob at
+// V2/V1. A peer that opens with anything other than the magic is a
+// legacy raw-gob dialer and is served gob from byte zero, so old
+// binaries keep working without reconfiguration.
+const wireMagic = "NWS\x01"
+
 // TCPTransport delivers messages between hosts over real TCP sockets on
-// the local machine, with gob encoding. Host names are mapped to listen
-// addresses by an internal registry filled as endpoints open. It is the
-// deployment path proving the NWS components run on the plain standard
-// library network stack, not only in simulation.
+// the local machine. Host names are mapped to listen addresses by an
+// internal registry filled as endpoints open. It is the deployment path
+// proving the NWS components run on the plain standard library network
+// stack, not only in simulation.
 type TCPTransport struct {
-	rt Runtime
+	rt     Runtime
+	maxVer int
+	hello  []byte
 
 	mu    sync.Mutex
 	addrs map[string]string // host -> "127.0.0.1:port"
 	eps   map[string]*tcpEndpoint
+	stats *wireStats
 }
 
-// NewTCPTransport returns a transport using real time.
-func NewTCPTransport() *TCPTransport {
-	return &TCPTransport{
-		rt:    NewRealRuntime(),
-		addrs: map[string]string{},
-		eps:   map[string]*tcpEndpoint{},
+// NewTCPTransport returns a transport using real time, negotiating up
+// to the current wire version (V3).
+func NewTCPTransport() *TCPTransport { return NewTCPTransportMaxVersion(V3) }
+
+// NewTCPTransportMaxVersion caps the highest wire version the transport
+// will negotiate, dialing or accepting. A V2-capped transport behaves
+// exactly like a pre-V3 binary on the wire — the lever the
+// mixed-version interop tests use.
+func NewTCPTransportMaxVersion(maxVer int) *TCPTransport {
+	if maxVer < V1 || maxVer > V3 {
+		maxVer = V3
 	}
+	return &TCPTransport{
+		rt:     NewRealRuntime(),
+		maxVer: maxVer,
+		hello:  append([]byte(wireMagic), byte(maxVer)),
+		addrs:  map[string]string{},
+		eps:    map[string]*tcpEndpoint{},
+	}
+}
+
+// SetTelemetry wires the transport's codec counters
+// (proto/encode_total{version=...}, proto/bytes_out, proto/bytes_in)
+// into reg. Call before opening endpoints; a nil registry leaves the
+// counters unwired.
+func (t *TCPTransport) SetTelemetry(reg *telemetry.Registry) {
+	t.mu.Lock()
+	t.stats = newWireStats(reg)
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) statsRef() *wireStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
 }
 
 // Runtime implements Transport.
@@ -77,7 +123,10 @@ func (t *TCPTransport) Active(host string) bool {
 type outConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	ver  int             // negotiated wire version
+	enc  *gob.Encoder    // gob fallback stream (ver < V3)
+	cw   *countingWriter // under enc, for bytes_out accounting
+	buf  []byte          // reusable V3 frame buffer
 }
 
 type tcpEndpoint struct {
@@ -110,23 +159,85 @@ func (e *tcpEndpoint) acceptLoop() {
 		}
 		e.accepted[c] = struct{}{}
 		e.mu.Unlock()
-		go e.readLoop(c)
+		go e.serveConn(c)
 	}
 }
 
-func (e *tcpEndpoint) readLoop(c net.Conn) {
+// serveConn sniffs the first bytes of an inbound connection: the wire
+// magic starts a version handshake; anything else is a legacy raw-gob
+// stream and the peeked bytes are replayed into the gob decoder.
+func (e *tcpEndpoint) serveConn(c net.Conn) {
 	defer func() {
 		c.Close()
 		e.mu.Lock()
 		delete(e.accepted, c)
 		e.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReaderSize(c, 32<<10)
+	head, err := br.Peek(len(wireMagic))
+	if err == nil && string(head) == wireMagic {
+		br.Discard(len(wireMagic))
+		vb, err := br.ReadByte()
+		if err != nil {
+			return
+		}
+		ver := min(e.t.maxVer, int(vb))
+		if ver < V1 {
+			ver = V1
+		}
+		if _, err := c.Write([]byte{byte(ver)}); err != nil {
+			return
+		}
+		if ver >= V3 {
+			e.readV3(br)
+			return
+		}
+	}
+	e.readGob(br)
+}
+
+// readV3 pumps compact frames: a 4-byte little-endian payload length,
+// then the codec payload. The payload buffer is reused across frames;
+// Decode copies strings and gives samples fresh backing, so nothing in
+// a delivered Message aliases it.
+func (e *tcpEndpoint) readV3(r io.Reader) {
+	stats := e.t.statsRef()
+	var hdr [frameHeaderSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if int64(n) > MaxFrameSize {
+			return
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		var m Message
+		if err := Decode(buf, &m); err != nil {
+			return
+		}
+		stats.received(int64(n) + frameHeaderSize)
+		e.inbox.Send(m)
+	}
+}
+
+func (e *tcpEndpoint) readGob(r io.Reader) {
+	stats := e.t.statsRef()
+	cr := &countingReader{r: r}
+	dec := gob.NewDecoder(cr)
 	for {
 		var m Message
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
+		stats.received(cr.take())
 		e.inbox.Send(m)
 	}
 }
@@ -138,6 +249,7 @@ func (e *tcpEndpoint) Send(to string, m Message) error {
 	}
 	e.t.mu.Lock()
 	addr, ok := e.t.addrs[to]
+	stats := e.t.stats
 	e.t.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("proto: unknown host %q", to)
@@ -158,19 +270,70 @@ func (e *tcpEndpoint) Send(to string, m Message) error {
 	oc.mu.Lock()
 	defer oc.mu.Unlock()
 	if oc.conn == nil {
-		c, err := net.Dial("tcp", addr)
-		if err != nil {
+		if err := e.dial(oc, addr); err != nil {
 			return err
 		}
-		oc.conn = c
-		oc.enc = gob.NewEncoder(c)
+	}
+	if oc.ver >= V3 {
+		b := append(oc.buf[:0], 0, 0, 0, 0)
+		b = AppendEncode(b, &m)
+		oc.buf = b
+		payload := len(b) - frameHeaderSize
+		if int64(payload) > MaxFrameSize {
+			return fmt.Errorf("proto: %w (%d bytes)", ErrFrameTooLarge, payload)
+		}
+		binary.LittleEndian.PutUint32(b[:frameHeaderSize], uint32(payload))
+		if _, err := oc.conn.Write(b); err != nil {
+			oc.reset()
+			return err
+		}
+		stats.encoded(V3, int64(len(b)))
+		return nil
 	}
 	if err := oc.enc.Encode(&m); err != nil {
-		oc.conn.Close()
-		oc.conn, oc.enc = nil, nil
+		oc.reset()
 		return err
 	}
+	stats.encoded(oc.ver, oc.cw.take())
 	return nil
+}
+
+// dial connects and runs the version handshake. Called with oc.mu held.
+func (e *tcpEndpoint) dial(oc *outConn, addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Write(e.t.hello); err != nil {
+		c.Close()
+		return err
+	}
+	var vb [1]byte
+	if _, err := io.ReadFull(c, vb[:]); err != nil {
+		c.Close()
+		return err
+	}
+	ver := int(vb[0])
+	if ver < V1 || ver > e.t.maxVer {
+		c.Close()
+		return fmt.Errorf("proto: peer negotiated unsupported wire version %d", ver)
+	}
+	oc.conn, oc.ver = c, ver
+	if ver < V3 {
+		oc.cw = &countingWriter{w: c}
+		oc.enc = gob.NewEncoder(oc.cw)
+	}
+	return nil
+}
+
+// reset drops a failed connection so the next Send re-dials. Called
+// with oc.mu held.
+func (oc *outConn) reset() {
+	if oc.conn != nil {
+		oc.conn.Close()
+	}
+	oc.conn, oc.enc, oc.cw = nil, nil, nil
+	oc.ver = 0
 }
 
 func (e *tcpEndpoint) Close() error {
@@ -206,4 +369,40 @@ func (e *tcpEndpoint) Close() error {
 	}
 	e.inbox.Close()
 	return err
+}
+
+// countingReader / countingWriter meter gob streams, whose codec does
+// not expose encoded sizes.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) take() int64 {
+	n := c.n
+	c.n = 0
+	return n
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) take() int64 {
+	n := c.n
+	c.n = 0
+	return n
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -275,7 +276,7 @@ func (c *Client) fanOut(n int, fn func(int)) {
 	var mu sync.Mutex
 	next := 0
 	for w := 0; w < k; w++ {
-		c.rt.Go(fmt.Sprintf("query:worker:%s:%d", c.port.Host(), w), func() {
+		c.rt.Go("query:worker:"+c.port.Host(), func() {
 			for {
 				mu.Lock()
 				i := next
@@ -421,40 +422,58 @@ func (c *Client) Fetch(series string, n int) ([]proto.Sample, error) {
 	return res[0].Samples, res[0].Err
 }
 
-// FetchMany answers every requested series, batching into one V2
+// FetchMany answers every requested series, batching into one
 // round-trip per owning memory server and fanning out across backends
 // on the bounded worker pool. Results keep the request order; failures
 // are per-series (a dead backend fails only its series).
 func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
-	root := c.tele.StartSpan("query", "fetch_many",
-		telemetry.Attr{Key: "series", Value: fmt.Sprint(len(reqs))})
-	defer root.End()
+	var root *telemetry.ActiveSpan
+	if c.tele != nil {
+		root = c.tele.StartSpan("query", "fetch_many",
+			telemetry.Attr{Key: "series", Value: fmt.Sprint(len(reqs))})
+		defer root.End()
+	}
 	results := make([]Result, len(reqs))
 	for i, q := range reqs {
 		results[i].Series = q.Series
 	}
 
-	// Resolve owners (cache + singleflight) and group the fetches per
-	// backend. A cold batch with more than a handful of unresolved
-	// series amortizes discovery into one bulk directory round-trip;
-	// smaller gaps stay on per-name lookups so a 2-series query never
-	// downloads the whole series directory.
-	byHost := map[string][]int{}
-	unresolved := 0
+	// Resolve owners and group the fetches per backend. The warm path is
+	// one pass under one lock: every series fresh in the discovery cache
+	// binds to its host without touching the singleflight machinery.
+	byHost := make(map[string][]int, 8)
+	var unresolvedIdx []int
 	c.mu.Lock()
 	now := c.rt.Now()
-	for _, q := range reqs {
-		if e, ok := c.series[q.Series]; !ok || e.expires <= now {
-			unresolved++
+	hits := 0
+	for i, q := range reqs {
+		e, ok := c.series[q.Series]
+		if !ok || e.expires <= now {
+			unresolvedIdx = append(unresolvedIdx, i)
+			continue
 		}
+		hits++
+		if e.missing {
+			results[i].Err = fmt.Errorf("%w: %s", ErrSeriesUnknown, q.Series)
+			continue
+		}
+		byHost[e.reg.Host] = append(byHost[e.reg.Host], i)
 	}
+	c.stats.LookupHits += hits
 	c.mu.Unlock()
-	bulk := unresolved > bulkThreshold
+	c.tLookupHits.Add(int64(hits))
+
+	// A cold batch with more than a handful of unresolved series
+	// amortizes discovery into one bulk directory round-trip; smaller
+	// gaps stay on per-name lookups so a 2-series query never downloads
+	// the whole series directory.
+	bulk := len(unresolvedIdx) > bulkThreshold
 	// A directory that stopped answering fails the whole unresolved
 	// remainder at once: without this, a cold batch against a dead name
 	// server would serialize one full lookup timeout per series.
 	var nsDown error
-	for i, q := range reqs {
+	for _, i := range unresolvedIdx {
+		q := reqs[i]
 		if nsDown != nil {
 			c.mu.Lock()
 			e, ok := c.series[q.Series]
@@ -476,27 +495,42 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 		byHost[reg.Host] = append(byHost[reg.Host], i)
 	}
 	hosts := make([]string, 0, len(byHost))
-	for h := range byHost {
+	total := 0
+	for h, idxs := range byHost {
 		hosts = append(hosts, h)
+		total += len(idxs)
 	}
 	sort.Strings(hosts)
+
+	// Per-host request batches carved from one backing array, built
+	// before the fan-out so workers only do wire round-trips.
+	backing := make([]proto.SeriesRequest, 0, total)
+	batches := make([][]proto.SeriesRequest, len(hosts))
+	for w, host := range hosts {
+		idxs := byHost[host]
+		start := len(backing)
+		for _, i := range idxs {
+			backing = append(backing, reqs[i])
+		}
+		batches[w] = backing[start:len(backing):len(backing)]
+	}
 
 	// One batched round-trip per backend, concurrently.
 	c.fanOut(len(hosts), func(w int) {
 		host := hosts[w]
 		idxs := byHost[host]
-		batch := make([]proto.SeriesRequest, len(idxs))
-		for k, i := range idxs {
-			batch[k] = reqs[i]
-		}
+		batch := batches[w]
 		c.mu.Lock()
 		c.stats.BatchCalls++
 		c.mu.Unlock()
 		c.tBatchCalls.Inc()
-		bsp := root.Child("backend", telemetry.Attr{Key: "host", Value: host},
-			telemetry.Attr{Key: "series", Value: fmt.Sprint(len(batch))})
+		var bsp *telemetry.ActiveSpan
+		if root != nil {
+			bsp = root.Child("backend", telemetry.Attr{Key: "host", Value: host},
+				telemetry.Attr{Key: "series", Value: fmt.Sprint(len(batch))})
+		}
 		reply, err := c.port.Call(host, proto.Message{
-			Type: proto.MsgBatchFetch, Version: proto.V2, Queries: batch,
+			Type: proto.MsgBatchFetch, Version: proto.V3, Queries: batch,
 		}, c.timeout)
 		bsp.End()
 		if err != nil {
@@ -533,9 +567,12 @@ func (c *Client) Forecast(series string, history int) (predict.Prediction, error
 // locally, the misses shard across the registered forecasters (stable
 // by series hash) with one V2 round-trip per forecaster.
 func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
-	root := c.tele.StartSpan("query", "forecast_many",
-		telemetry.Attr{Key: "series", Value: fmt.Sprint(len(reqs))})
-	defer root.End()
+	var root *telemetry.ActiveSpan
+	if c.tele != nil {
+		root = c.tele.StartSpan("query", "forecast_many",
+			telemetry.Attr{Key: "series", Value: fmt.Sprint(len(reqs))})
+		defer root.End()
+	}
 	results := make([]ForecastResult, len(reqs))
 	now := c.rt.Now()
 	var missIdx []int
@@ -594,10 +631,13 @@ func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
 		c.mu.Unlock()
 		c.tBatchCalls.Inc()
 		c.tForecastCalls.Add(int64(len(idxs)))
-		bsp := root.Child("backend", telemetry.Attr{Key: "host", Value: host},
-			telemetry.Attr{Key: "series", Value: fmt.Sprint(len(batch))})
+		var bsp *telemetry.ActiveSpan
+		if root != nil {
+			bsp = root.Child("backend", telemetry.Attr{Key: "host", Value: host},
+				telemetry.Attr{Key: "series", Value: fmt.Sprint(len(batch))})
+		}
 		reply, err := c.port.Call(host, proto.Message{
-			Type: proto.MsgBatchForecast, Version: proto.V2, Queries: batch,
+			Type: proto.MsgBatchForecast, Version: proto.V3, Queries: batch,
 		}, c.timeout)
 		bsp.End()
 		if err != nil {
@@ -738,7 +778,7 @@ func (c *Client) storeForecast(key string, e fcEntry) {
 }
 
 func fcKey(q proto.SeriesRequest) string {
-	return fmt.Sprintf("%s|%d", q.Series, q.Count)
+	return q.Series + "|" + strconv.Itoa(q.Count)
 }
 
 func shardOf(series string, n int) int {

@@ -351,18 +351,18 @@ func TestWorkerPoolBounded(t *testing.T) {
 	}
 }
 
-// TestUnsupportedVersionRejected: a V3 batch is refused by the server
-// instead of being half-understood.
+// TestUnsupportedVersionRejected: a batch from a future protocol
+// version is refused by the server instead of being half-understood.
 func TestUnsupportedVersionRejected(t *testing.T) {
 	r := newRig(t)
 	r.seed(t)
 	r.run(t, func() {
 		_, err := r.st.Call("m1", proto.Message{
-			Type: proto.MsgBatchFetch, Version: proto.V2 + 1,
+			Type: proto.MsgBatchFetch, Version: proto.V3 + 1,
 			Queries: []proto.SeriesRequest{{Series: "a1", Count: 1}},
 		}, 5*time.Second)
 		if err == nil {
-			t.Error("version 3 batch accepted")
+			t.Error("version 4 batch accepted")
 		}
 	})
 }

@@ -84,11 +84,16 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	}
 	sim := vclock.New()
 	net := simnet.NewNetwork(sim, tp)
-	plat := platform.NewSimPlatform(net, proto.NewSimTransport(net))
+	tr := proto.NewSimTransport(net)
+	plat := platform.NewSimPlatform(net, tr)
 	// The run's telemetry plane reads the virtual clock, so every
 	// reading and span boundary is a function of scenario + seed.
 	reg := telemetry.New(sim.Now)
 	simnet.RegisterTelemetry(reg, net)
+	// Wire-level codec counters (proto/encode_total{version=...},
+	// proto/bytes_out, proto/bytes_in) land in the same registry, so
+	// scenario SLOs can gate on the negotiated wire version.
+	tr.SetTelemetry(reg)
 	pl := core.NewPipeline(plat, core.WithAutoAliases(), core.WithTokenGap(time.Second),
 		core.WithTelemetry(reg))
 

@@ -45,13 +45,15 @@ type Topology struct {
 	downNodes     map[string]bool
 	disabledLinks map[*Link]bool
 
-	// routeCache holds computed paths ("src->dst" → node path, nil for a
-	// proven absence of route). nodeRouteIdx and linkRouteIdx index the
-	// positive entries by the elements they traverse, so a fault evicts
-	// only the paths it actually breaks instead of wiping the cache.
-	routeCache   map[string][]string
-	nodeRouteIdx map[string]map[string]struct{}
-	linkRouteIdx map[*Link]map[string]struct{}
+	// routeCache holds computed paths (src/dst pair → node path, nil for
+	// a proven absence of route). The key is a struct, not "src->dst",
+	// so the per-message lookup on the delivery hot path never builds a
+	// key string. nodeRouteIdx and linkRouteIdx index the positive
+	// entries by the elements they traverse, so a fault evicts only the
+	// paths it actually breaks instead of wiping the cache.
+	routeCache   map[routeKey][]string
+	nodeRouteIdx map[string]map[routeKey]struct{}
+	linkRouteIdx map[*Link]map[routeKey]struct{}
 
 	cacheHits, cacheMisses int64
 }
@@ -66,9 +68,9 @@ func NewTopology() *Topology {
 		routeOverride: map[string][]string{},
 		downNodes:     map[string]bool{},
 		disabledLinks: map[*Link]bool{},
-		routeCache:    map[string][]string{},
-		nodeRouteIdx:  map[string]map[string]struct{}{},
-		linkRouteIdx:  map[*Link]map[string]struct{}{},
+		routeCache:    map[routeKey][]string{},
+		nodeRouteIdx:  map[string]map[routeKey]struct{}{},
+		linkRouteIdx:  map[*Link]map[routeKey]struct{}{},
 	}
 }
 
@@ -216,9 +218,9 @@ func (t *Topology) invalidateAllRoutesLocked() {
 	if len(t.routeCache) == 0 {
 		return
 	}
-	t.routeCache = map[string][]string{}
-	t.nodeRouteIdx = map[string]map[string]struct{}{}
-	t.linkRouteIdx = map[*Link]map[string]struct{}{}
+	t.routeCache = map[routeKey][]string{}
+	t.nodeRouteIdx = map[string]map[routeKey]struct{}{}
+	t.linkRouteIdx = map[*Link]map[routeKey]struct{}{}
 }
 
 // invalidateNodeRoutes evicts only the cached paths that traverse node
@@ -243,7 +245,7 @@ func (t *Topology) invalidateLinkRoutes(l *Link) {
 // dropRouteKey evicts one cached path and de-indexes it from every
 // element it traversed, so a re-cached route is never spuriously
 // evicted by a later fault on the old path and the index stays exact.
-func (t *Topology) dropRouteKey(key string) {
+func (t *Topology) dropRouteKey(key routeKey) {
 	p, ok := t.routeCache[key]
 	delete(t.routeCache, key)
 	if !ok || p == nil {
@@ -261,7 +263,7 @@ func (t *Topology) dropRouteKey(key string) {
 
 // cacheRoute stores a computed path and indexes it by every element it
 // traverses.
-func (t *Topology) cacheRoute(key string, p []string) {
+func (t *Topology) cacheRoute(key routeKey, p []string) {
 	t.routeCache[key] = p
 	if p == nil {
 		return
@@ -269,7 +271,7 @@ func (t *Topology) cacheRoute(key string, p []string) {
 	for _, id := range p {
 		set := t.nodeRouteIdx[id]
 		if set == nil {
-			set = map[string]struct{}{}
+			set = map[routeKey]struct{}{}
 			t.nodeRouteIdx[id] = set
 		}
 		set[key] = struct{}{}
@@ -278,7 +280,7 @@ func (t *Topology) cacheRoute(key string, p []string) {
 		l := t.findLink(p[i], p[i+1])
 		set := t.linkRouteIdx[l]
 		if set == nil {
-			set = map[string]struct{}{}
+			set = map[routeKey]struct{}{}
 			t.linkRouteIdx[l] = set
 		}
 		set[key] = struct{}{}
@@ -368,12 +370,17 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 	if src == dst {
 		return []string{src}, nil
 	}
-	if p, ok := t.routeOverride[src+"->"+dst]; ok && t.pathHealthy(p) {
-		// A faulted override falls back to dynamic routing, as real
-		// routing tables reconverge around a dead segment.
-		return p, nil
+	// The override lookup builds a key string; skip it entirely in the
+	// common no-override case so steady-state delivery stays allocation
+	// free.
+	if len(t.routeOverride) > 0 {
+		if p, ok := t.routeOverride[src+"->"+dst]; ok && t.pathHealthy(p) {
+			// A faulted override falls back to dynamic routing, as real
+			// routing tables reconverge around a dead segment.
+			return p, nil
+		}
 	}
-	key := src + "->" + dst
+	key := routeKey{src, dst}
 	if p, ok := t.routeCache[key]; ok {
 		t.cacheHits++
 		if p == nil {
@@ -407,6 +414,12 @@ func (t *Topology) retagVLANs(srcVLAN, dstVLAN int) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// routeKey identifies one directed src→dst cache entry without the
+// string concatenation a "src->dst" key would cost per lookup.
+type routeKey struct {
+	src, dst string
 }
 
 // vlanKey is the Dijkstra search state: a packet's position and current

@@ -11,15 +11,25 @@ type Chan[T any] struct {
 	name    string
 	buf     []T
 	waiters []*waiter[T]
+	free    []*waiter[T] // recycled waiters; bounded by peak concurrent receivers
 	closed  bool
 }
 
+// waiter is one blocked receive. Waiters are pooled per channel: the
+// signal channel and the deliver/timeout callbacks are built once and
+// reused for every block/wake cycle, so steady-state receive traffic
+// allocates nothing. Reuse is safe because each cycle produces exactly
+// one signal (wake and timeout exclude each other under sim.mu, and a
+// canceled timer event is skipped at heap pop, never run).
 type waiter[T any] struct {
-	ch    chan struct{}
-	v     T
-	ok    bool
-	done  bool
-	timer *Event
+	c       *Chan[T]
+	ch      chan struct{} // cap 1; signaled by send, reused across cycles
+	v       T
+	ok      bool
+	done    bool
+	timer   *Event
+	deliver func()
+	timeout func()
 }
 
 // NewChan creates a channel bound to sim. The name is used in diagnostics.
@@ -37,20 +47,17 @@ func (c *Chan[T]) Len() int {
 	return len(c.buf)
 }
 
-// wake schedules delivery to w at the current instant. Caller holds sim.mu.
+// wake schedules delivery to w at the current instant: the value is
+// written here under sim.mu and the prebuilt deliver callback only
+// flips the process runnable. Caller holds sim.mu.
 func (c *Chan[T]) wake(w *waiter[T], v T, ok bool) {
 	w.done = true
+	w.v, w.ok = v, ok
 	if w.timer != nil && !w.timer.fired {
 		w.timer.canceled = true
 	}
 	c.sim.blocked--
-	c.sim.schedule(c.sim.now, func() {
-		c.sim.mu.Lock()
-		c.sim.busy++
-		c.sim.mu.Unlock()
-		w.v, w.ok = v, ok
-		close(w.ch)
-	})
+	c.sim.scheduleEphemeral(c.sim.now, w.deliver)
 }
 
 // Send delivers v to a waiting receiver or buffers it. It may be called
@@ -73,7 +80,12 @@ func (c *Chan[T]) TrySend(v T) bool {
 	}
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		// Shift down instead of re-slicing forward: a forward slice
+		// strands the backing array's capacity, forcing the next block
+		// to reallocate; shifting keeps the array hot forever.
+		n := copy(c.waiters, c.waiters[1:])
+		c.waiters[n] = nil
+		c.waiters = c.waiters[:n]
 		if w.done {
 			continue
 		}
@@ -145,27 +157,81 @@ func (c *Chan[T]) recv(d time.Duration, timed bool) (T, bool) {
 		s.mu.Unlock()
 		panic("vclock: Recv on " + c.name + " called outside a simulation process")
 	}
-	w := &waiter[T]{ch: make(chan struct{})}
+	w := c.getWaiterLocked()
 	c.waiters = append(c.waiters, w)
 	if timed {
-		w.timer = s.schedule(s.now+d, func() {
-			s.mu.Lock()
-			if w.done {
-				s.mu.Unlock()
-				return
-			}
-			w.done = true
-			s.blocked--
-			s.busy++
-			s.mu.Unlock()
-			w.ok = false
-			close(w.ch)
-		})
+		w.timer = s.scheduleEphemeral(s.now+d, w.timeout)
 	}
 	s.busy--
 	s.blocked++
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-w.ch
-	return w.v, w.ok
+	v, ok := w.v, w.ok
+	c.putWaiter(w)
+	return v, ok
+}
+
+// getWaiterLocked pops a recycled waiter or builds a fresh one with its
+// callbacks. Caller holds sim.mu.
+func (c *Chan[T]) getWaiterLocked() *waiter[T] {
+	if n := len(c.free); n > 0 {
+		w := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return w
+	}
+	w := &waiter[T]{c: c, ch: make(chan struct{}, 1)}
+	w.deliver = func() {
+		s := w.c.sim
+		s.mu.Lock()
+		s.busy++
+		s.mu.Unlock()
+		w.ch <- struct{}{}
+	}
+	w.timeout = func() {
+		s := w.c.sim
+		s.mu.Lock()
+		if w.done {
+			s.mu.Unlock()
+			return
+		}
+		w.done = true
+		w.ok = false
+		// Eager removal, not a lazy done-skip: the waiter is about to be
+		// recycled and must not linger in the waiters list.
+		w.c.removeWaiterLocked(w)
+		s.blocked--
+		s.busy++
+		s.mu.Unlock()
+		w.ch <- struct{}{}
+	}
+	return w
+}
+
+// removeWaiterLocked unlinks w from the wait list (timeout path). The
+// list holds at most the channel's concurrent receivers, almost always
+// zero or one. Caller holds sim.mu.
+func (c *Chan[T]) removeWaiterLocked(w *waiter[T]) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// putWaiter recycles w after its signal was consumed, dropping any
+// payload reference so pooled waiters don't retain messages.
+func (c *Chan[T]) putWaiter(w *waiter[T]) {
+	var zero T
+	w.v = zero
+	w.ok, w.done = false, false
+	w.timer = nil
+	s := c.sim
+	s.mu.Lock()
+	if !c.closed {
+		c.free = append(c.free, w)
+	}
+	s.mu.Unlock()
 }

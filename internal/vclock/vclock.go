@@ -44,7 +44,25 @@ type Sim struct {
 	running bool
 	stopped bool
 
+	// sleepers recycles Sleep's signal channel + wake callback; bounded
+	// by the peak number of concurrently sleeping processes.
+	sleepers []*sleeper
+	// evFree recycles ephemeral events (see scheduleEphemeral); bounded
+	// by the peak number of such events in flight.
+	evFree []*Event
+
 	err error
+}
+
+// sleeper is one pooled Sleep cycle: a cap-1 signal channel and a
+// prebuilt wake callback, reused so steady-state sleeping allocates
+// only the queue slot. Sleep events are never canceled, so by the time
+// the sleeping process consumes the signal and recycles the sleeper,
+// its event has already fired and left the heap.
+type sleeper struct {
+	s    *Sim
+	ch   chan struct{}
+	fire func()
 }
 
 // New returns a fresh simulation with the clock at zero.
@@ -68,7 +86,11 @@ type Event struct {
 	fn       func()
 	canceled bool
 	fired    bool
-	sim      *Sim
+	// pooled marks an ephemeral event: recycled by the run loop the
+	// moment it fires or is popped canceled. Only kernel-internal
+	// events whose pointer never escapes may be pooled.
+	pooled bool
+	sim    *Sim
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
@@ -122,6 +144,42 @@ func (s *Sim) schedule(at time.Duration, fn func()) *Event {
 	return ev
 }
 
+// scheduleEphemeral is schedule on a recycled Event. Only kernel call
+// sites whose *Event stays inside the kernel's documented lifecycle
+// (wake deliveries, sleep fires, process starts, receive timers) may
+// use it: the event returns to the pool as soon as it fires or is
+// popped canceled, so an external holder would observe reuse. Callers
+// must hold s.mu.
+func (s *Sim) scheduleEphemeral(at time.Duration, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	n := len(s.evFree)
+	if n == 0 {
+		ev := &Event{at: at, seq: s.seq, fn: fn, pooled: true, sim: s}
+		heap.Push(&s.events, ev)
+		return ev
+	}
+	ev := s.evFree[n-1]
+	s.evFree[n-1] = nil
+	s.evFree = s.evFree[:n-1]
+	ev.at, ev.seq, ev.fn = at, s.seq, fn
+	ev.canceled, ev.fired = false, false
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// recycleLocked returns a pooled event to the freelist. Callers hold
+// s.mu and guarantee e is off the heap for good (fired or popped
+// canceled).
+func (s *Sim) recycleLocked(e *Event) {
+	if e.pooled {
+		e.fn = nil
+		s.evFree = append(s.evFree, e)
+	}
+}
+
 // At schedules fn to run at absolute virtual time at (clamped to the
 // current time). fn runs in the scheduler context: it must not block in
 // kernel primitives, but it may call Go, Chan.Send and schedule further
@@ -146,7 +204,7 @@ func (s *Sim) Go(name string, fn func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.procs++
-	s.schedule(s.now, func() {
+	s.scheduleEphemeral(s.now, func() {
 		s.mu.Lock()
 		s.busy++
 		s.mu.Unlock()
@@ -170,22 +228,33 @@ func (s *Sim) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{})
 	s.mu.Lock()
 	if s.busy <= 0 {
 		s.mu.Unlock()
 		panic("vclock: Sleep called outside a simulation process")
 	}
-	s.schedule(s.now+d, func() {
-		s.mu.Lock()
-		s.busy++
-		s.mu.Unlock()
-		close(ch)
-	})
+	var sl *sleeper
+	if n := len(s.sleepers); n > 0 {
+		sl = s.sleepers[n-1]
+		s.sleepers[n-1] = nil
+		s.sleepers = s.sleepers[:n-1]
+	} else {
+		sl = &sleeper{s: s, ch: make(chan struct{}, 1)}
+		sl.fire = func() {
+			sl.s.mu.Lock()
+			sl.s.busy++
+			sl.s.mu.Unlock()
+			sl.ch <- struct{}{}
+		}
+	}
+	s.scheduleEphemeral(s.now+d, sl.fire)
 	s.busy--
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	<-ch
+	<-sl.ch
+	s.mu.Lock()
+	s.sleepers = append(s.sleepers, sl)
+	s.mu.Unlock()
 }
 
 // Yield lets every other runnable work scheduled at the current instant
@@ -236,6 +305,7 @@ func (s *Sim) run(deadline time.Duration, hasDeadline bool) error {
 		for s.events.Len() > 0 {
 			e := heap.Pop(&s.events).(*Event)
 			if e.canceled {
+				s.recycleLocked(e)
 				continue
 			}
 			ev = e
@@ -261,9 +331,11 @@ func (s *Sim) run(deadline time.Duration, hasDeadline bool) error {
 			s.now = ev.at
 		}
 		ev.fired = true
+		fn := ev.fn
 		s.mu.Unlock()
-		ev.fn()
+		fn()
 		s.mu.Lock()
+		s.recycleLocked(ev)
 	}
 	s.running = false
 	err := s.err
