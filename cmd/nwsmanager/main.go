@@ -66,6 +66,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Minute, "monitoring duration (virtual, or wall-clock with -tcp)")
 	query := flag.String("query", "", "host pair to estimate afterwards: from,to")
 	pairwise := flag.Bool("pairwise", false, "drive switched cliques with the pairwise scheduler (§6 relaxation)")
+	replicas := flag.Int("replicas", 0, "replication factor k: every memory server's series get k replicas on distinct switches (0 = off)")
 	watch := flag.Bool("watch", false, "run the self-healing reconcile loop over the deployment")
 	scenario := flag.String("scenario", "none", "with -watch on a topo: fault scenario — a name resolved in -scenarios (crash, partition, ...), a .json path, or none")
 	scenarioDir := flag.String("scenarios", "scenarios", "directory of declarative scenario files -scenario names resolve in")
@@ -112,7 +113,7 @@ func main() {
 	}
 
 	if *tcp {
-		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, *teleDir, observer)
+		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, *replicas, *teleDir, observer)
 		return
 	}
 	if *topoFile == "" {
@@ -120,11 +121,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *watch {
-		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, *teleDir, observer)
+		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, *replicas, *teleDir, observer)
 		return
 	}
 	if *auto {
-		runAuto(*topoFile, *duration, *query, *pairwise, *teleDir, observer)
+		runAuto(*topoFile, *duration, *query, *pairwise, *replicas, *teleDir, observer)
 		return
 	}
 	if *planFile == "" {
@@ -150,7 +151,7 @@ func wireCodecTelemetry(p platform.Platform, reg *telemetry.Registry) {
 // runAuto drives the whole pipeline on the simulated platform: one
 // command instead of the topogen→envmap→nwsdeploy→nwsmanager file
 // relay.
-func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, teleDir string, observer core.Option) {
+func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, replicas int, teleDir string, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
@@ -161,6 +162,9 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), core.WithTelemetry(reg), observer}
 	if pairwise {
 		opts = append(opts, core.WithPairwiseSwitched())
+	}
+	if replicas > 0 {
+		opts = append(opts, core.WithReplication(replicas))
 	}
 	pl := core.NewPipeline(se.Plat, opts...)
 
@@ -197,7 +201,7 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 // out: §4.3's platform evolution end to end. It exits non-zero when the
 // loop has not converged on a valid deployment by the end (unless it
 // was interrupted).
-func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, teleDir string, observer core.Option) {
+func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, replicas int, teleDir string, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
@@ -208,6 +212,9 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second), core.WithTelemetry(reg), observer}
 	if pairwise {
 		opts = append(opts, core.WithPairwiseSwitched())
+	}
+	if replicas > 0 {
+		opts = append(opts, core.WithReplication(replicas))
 	}
 	pl := core.NewPipeline(se.Plat, opts...)
 
@@ -334,7 +341,7 @@ func buildScenario(name, dir string, seed int64, base time.Duration, tp *simnet.
 		}
 		return simnet.Scenario{}, err
 	}
-	victims, links := scenlab.PlanVictims(out.Plan, out.Resolve, tp)
+	victims, links := scenlab.PlanVictimsFor(f.Spec.Fault, out.Plan, out.Resolve, tp)
 	if len(victims) == 0 {
 		return simnet.Scenario{}, fmt.Errorf("scenario %s: no non-master victims", f.Spec.Name)
 	}
@@ -345,7 +352,7 @@ func buildScenario(name, dir string, seed int64, base time.Duration, tp *simnet.
 // same code path as the simulator, on the wall clock. With watch, the
 // reconcile loop maintains the deployment until the duration elapses or
 // the context is canceled (SIGINT).
-func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, teleDir string, observer core.Option) {
+func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, replicas int, teleDir string, observer core.Option) {
 	seen := map[string]bool{}
 	for i, h := range hosts {
 		h = strings.TrimSpace(h)
@@ -370,11 +377,16 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPa
 	reg := telemetry.New(plat.Runtime().Now)
 	wireCodecTelemetry(plat, reg)
 	defer flushTelemetry(reg, teleDir)
-	pl := core.NewPipeline(plat,
+	tcpOpts := []core.Option{
 		core.WithGridLabel("loopback"),
-		core.WithTokenGap(50*time.Millisecond),
+		core.WithTokenGap(50 * time.Millisecond),
 		core.WithTelemetry(reg),
-		observer)
+		observer,
+	}
+	if replicas > 0 {
+		tcpOpts = append(tcpOpts, core.WithReplication(replicas))
+	}
+	pl := core.NewPipeline(plat, tcpOpts...)
 
 	run := core.MapRun{Master: hosts[0], Hosts: hosts}
 	m, err := pl.Map(ctx, run)

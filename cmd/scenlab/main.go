@@ -58,6 +58,7 @@ func cmdRun(args []string) {
 	scenario := fs.String("scenario", "", "scenario file (required)")
 	out := fs.String("out", "lab-artifacts", "artifact output directory")
 	seed := fs.Int64("seed", 0, "override the file's seed (0 = use the file's)")
+	replicas := fs.Int("replicas", -1, "override the file's replication factor (-1 = use the file's; scores k=0/1/2 on one scenario)")
 	fs.Parse(args)
 	if *scenario == "" {
 		fmt.Fprintln(os.Stderr, "scenlab run: -scenario is required")
@@ -65,6 +66,9 @@ func cmdRun(args []string) {
 	}
 	f, err := scenlab.LoadFile(*scenario)
 	check(err)
+	if *replicas >= 0 {
+		f.Spec.Replication = *replicas
+	}
 	if !runOne(f, *out, effectiveSeed(f, *seed), 1) {
 		os.Exit(1)
 	}

@@ -67,6 +67,7 @@ type config struct {
 	aliases          []gridml.GatewayAlias
 	tokenGap         time.Duration
 	hostSensorPeriod time.Duration
+	replication      int
 	pairwiseSwitched bool
 	planOnly         bool
 	autoAliases      bool
@@ -112,6 +113,18 @@ func WithTokenGap(gap time.Duration) Option {
 // period.
 func WithHostSensors(period time.Duration) Option {
 	return func(c *config) { c.hostSensorPeriod = period }
+}
+
+// WithReplication gives every memory server k replicas placed on
+// distinct switches (0, the default, disables replication): every
+// accepted store fans out asynchronously, and the query plane fails
+// over to a replica when a primary dies.
+func WithReplication(k int) Option {
+	return func(c *config) {
+		if k > 0 {
+			c.replication = k
+		}
+	}
 }
 
 // WithPairwiseSwitched drives switched-network cliques with the

@@ -183,7 +183,9 @@ func (p *Pipeline) Plan(m *Mapping) (*PlanResult, error) {
 			master = first.Master
 		}
 	}
-	plan, err := deploy.NewPlan(m.Merged, deploy.PlanConfig{Master: master, TokenGap: p.cfg.tokenGap})
+	plan, err := deploy.NewPlan(m.Merged, deploy.PlanConfig{
+		Master: master, TokenGap: p.cfg.tokenGap, ReplicationFactor: p.cfg.replication,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -117,6 +117,29 @@ func DiffPlans(old, new *Plan) *Diff {
 	if om != nm {
 		d.ServerMoves = append(d.ServerMoves, fmt.Sprintf("memory: [%s] -> [%s]", om, nm))
 	}
+	// Replica-set moves: a changed set means under-replication (or a
+	// placement change) that ApplyDelta must repair by rebuilding exactly
+	// the affected hosts.
+	if old.ReplicationFactor != new.ReplicationFactor {
+		d.ServerMoves = append(d.ServerMoves,
+			fmt.Sprintf("replication factor: %d -> %d", old.ReplicationFactor, new.ReplicationFactor))
+	}
+	memNames := map[string]struct{}{}
+	for m := range old.Replicas {
+		memNames[m] = struct{}{}
+	}
+	for m := range new.Replicas {
+		memNames[m] = struct{}{}
+	}
+	var moved []string
+	for m := range memNames {
+		os, ns := strings.Join(old.Replicas[m], ","), strings.Join(new.Replicas[m], ",")
+		if os != ns {
+			moved = append(moved, fmt.Sprintf("replicas[%s]: [%s] -> [%s]", m, os, ns))
+		}
+	}
+	sort.Strings(moved)
+	d.ServerMoves = append(d.ServerMoves, moved...)
 	return d
 }
 

@@ -117,6 +117,21 @@ func (d *Deployment) ApplyDelta(ctx context.Context, newPlan *Plan, newResolve m
 	}
 	sort.Strings(rebuild)
 
+	// An in-place rebuild must not lose the retained series windows of a
+	// live host's memory server — a survivor holding replica copies is
+	// exactly what anti-entropy repair backfills from. Persist its image
+	// before teardown and seed the rebuilt agent with it. Stopped hosts
+	// are not persisted: a machine leaving the platform (or dead) loses
+	// its disk, which is the failure replication exists to absorb.
+	images := map[string][]byte{}
+	for _, name := range rep.Restarted {
+		if a := d.Agents[name]; a != nil {
+			if img, ok := a.PersistMemory(); ok {
+				images[name] = img
+			}
+		}
+	}
+
 	// Tear down leavers and changed agents first: a rebuilt agent must
 	// release its endpoint before the new incarnation binds it. The
 	// teardown is committed into Plan immediately: if the build below
@@ -155,6 +170,9 @@ func (d *Deployment) ApplyDelta(ctx context.Context, newPlan *Plan, newResolve m
 	// scenario lab replays runs byte-for-byte, so repair must not be
 	// the one step that launches processes in a random order.
 	for name, ag := range agents {
+		if img, ok := images[name]; ok {
+			ag.SetMemoryImage(img)
+		}
 		d.Agents[name] = ag
 	}
 	for _, name := range newPlan.Hosts {
@@ -190,8 +208,9 @@ func pruneHosts(plan *Plan, groups ...[]string) *Plan {
 // clique ordering, so it must not force rebuilds on its own.
 func roleSignature(r host.Roles) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "ns=%t mem=%t fc=%t gw=%t nshost=%s memhost=%s hsp=%s|",
-		r.NameServer, r.Memory, r.Forecaster, r.Gateway, r.NSHost, r.MemoryHost, r.HostSensorPeriod)
+	fmt.Fprintf(&b, "ns=%t mem=%t fc=%t gw=%t nshost=%s memhost=%s hsp=%s repl=%s|",
+		r.NameServer, r.Memory, r.Forecaster, r.Gateway, r.NSHost, r.MemoryHost, r.HostSensorPeriod,
+		strings.Join(r.MemoryReplicas, ","))
 	cl := append([]string(nil), cliqueKeys(r)...)
 	sort.Strings(cl)
 	for _, k := range cl {

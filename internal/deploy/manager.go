@@ -2,7 +2,9 @@ package deploy
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"nwsenv/internal/nws/clique"
@@ -171,6 +173,14 @@ func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs 
 	if err != nil {
 		return nil, err
 	}
+	// Replica hosts run memory servers too: they must accept fan-out
+	// stores and answer failover batch fetches.
+	replicaHosts := map[string]struct{}{}
+	for _, set := range plan.Replicas {
+		for _, h := range set {
+			replicaHosts[h] = struct{}{}
+		}
+	}
 	all := map[string]host.Roles{}
 	for _, name := range plan.Hosts {
 		node, err := id(name)
@@ -199,6 +209,17 @@ func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs 
 			roles.Gateway = true
 		}
 		if contains(plan.MemoryServers, name) {
+			roles.Memory = true
+			for _, rh := range plan.Replicas[name] {
+				node, err := id(rh)
+				if err != nil {
+					return nil, err
+				}
+				roles.MemoryReplicas = append(roles.MemoryReplicas, node)
+			}
+			sort.Strings(roles.MemoryReplicas)
+		}
+		if _, isReplica := replicaHosts[name]; isReplica {
 			roles.Memory = true
 		}
 		all[name] = roles
@@ -272,8 +293,13 @@ func (d *Deployment) PairDataVia(fetch func([]proto.SeriesRequest) ([]query.Resu
 			{Series: sensor.LatencySeries(src, dst), Count: 1},
 			{Series: sensor.BandwidthSeries(src, dst), Count: 1},
 		})
-		if err != nil || len(res) != 2 || res[0].Err != nil || res[1].Err != nil ||
-			len(res[0].Samples) == 0 || len(res[1].Samples) == 0 {
+		// A degraded answer (served from a lagging replica after the
+		// primary died) still carries samples: stale-but-available beats
+		// no estimate at all.
+		usable := func(r query.Result) bool {
+			return (r.Err == nil || errors.Is(r.Err, query.ErrDegraded)) && len(r.Samples) > 0
+		}
+		if err != nil || len(res) != 2 || !usable(res[0]) || !usable(res[1]) {
 			return 0, 0, false
 		}
 		return res[0].Samples[0].Value, res[1].Samples[0].Value, true

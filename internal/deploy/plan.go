@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"nwsenv/internal/env"
+	"nwsenv/internal/nws/replica"
 )
 
 // CliqueSpec is one planned measurement clique.
@@ -56,7 +57,12 @@ type Plan struct {
 	MemoryServers []string `json:"memoryServers"`
 	// MemoryOf maps every monitored host to its memory server.
 	MemoryOf map[string]string `json:"memoryOf"`
-	Cliques  []CliqueSpec      `json:"cliques"`
+	// ReplicationFactor is k: every memory server's series get k
+	// replicas on distinct switches (0 = no replication).
+	ReplicationFactor int `json:"replicationFactor,omitempty"`
+	// Replicas maps each memory server to its solved replica hosts.
+	Replicas map[string][]string `json:"replicas,omitempty"`
+	Cliques  []CliqueSpec        `json:"cliques"`
 	// Hosts lists every monitored machine (canonical names).
 	Hosts []string `json:"hosts"`
 }
@@ -68,6 +74,9 @@ type PlanConfig struct {
 	Master string
 	// TokenGap sets each clique's measurement pacing.
 	TokenGap time.Duration
+	// ReplicationFactor gives every memory server k replicas placed on
+	// distinct switches (0 disables replication).
+	ReplicationFactor int
 }
 
 // NewPlan derives a deployment plan from a merged ENV result.
@@ -176,6 +185,19 @@ func NewPlan(m *env.Merged, cfg PlanConfig) (*Plan, error) {
 		if len(spec.Members) >= 2 {
 			p.Cliques = append(p.Cliques, spec)
 		}
+	}
+
+	// Replica placement: k replicas per memory server, solved against
+	// the network partition so a replica never shares a switch with its
+	// primary when the topology allows it (a switch loss must not take
+	// both). The ENV networks are exactly the switch groups.
+	if cfg.ReplicationFactor > 0 {
+		p.ReplicationFactor = cfg.ReplicationFactor
+		groups := make([][]string, 0, len(m.Networks))
+		for _, nw := range m.Networks {
+			groups = append(groups, uniqueSorted(mapNames(nw.Hosts, canon)))
+		}
+		p.Replicas = replica.Place(p.MemoryServers, groups, cfg.ReplicationFactor)
 	}
 
 	// Bridging cliques between connectivity components (§5.1: "The

@@ -48,6 +48,10 @@ const (
 	// stale registrations can point at it and calls there time out, like
 	// packets to a decommissioned machine.
 	DeadHost = "dead"
+	// ReplHost is idle until the replica-failover scenario starts a
+	// replicated memory primary on it (the base rig stays
+	// replication-free).
+	ReplHost = "p1"
 )
 
 // Seeded series: SeriesA lives on MemHostA, SeriesB on MemHostB, 20
@@ -83,7 +87,7 @@ type Rig struct {
 func NewRig(t *testing.T) *Rig {
 	t.Helper()
 	topo := simnet.NewTopology()
-	hosts := []string{NSHost, MemHostA, MemHostB, Forecastern, GatewayHost, UserHost, DeadHost}
+	hosts := []string{NSHost, MemHostA, MemHostB, Forecastern, GatewayHost, UserHost, DeadHost, ReplHost}
 	for i, h := range hosts {
 		topo.AddHost(h, fmt.Sprintf("10.9.0.%d", i+1), h, "lan")
 	}
@@ -157,6 +161,24 @@ func (r *Rig) Store(t *testing.T, host, series string, n int) {
 			}
 		}
 	})
+}
+
+// StartMemory launches an extra memory server on host, fanning its
+// accepted stores out to the given replica hosts. Scenarios that need
+// a replicated primary provision it themselves, so the base rig stays
+// replication-free for every other case.
+func (r *Rig) StartMemory(t *testing.T, host string, replicas ...string) {
+	t.Helper()
+	ep, err := r.TR.Open(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := proto.NewStation(r.TR.Runtime(), ep)
+	var opts []memory.Option
+	if len(replicas) > 0 {
+		opts = append(opts, memory.WithReplicas(replicas...))
+	}
+	r.Sim.Go("mem:"+host, memory.New(st, nameserver.NewClient(st, NSHost), opts...).Run)
 }
 
 // Register writes a directory entry from the user station — how
@@ -256,6 +278,27 @@ var Scenarios = []Scenario{
 			r.Expect(t, "inside the negative window", q, series, query.ErrSeriesUnknown)
 			r.Advance(t, negativeWindow+time.Second)
 			r.Expect(t, "after the negative window", q, series, nil)
+		},
+	},
+	{
+		// The series' primary dies mid-conversation with k=1 replication
+		// on. The registration carried the replica set, so the cached
+		// binding fails over inside the same query: the replica answers
+		// immediately — no intermediate ErrBackendDown, no TTL wait —
+		// and keeps answering on the rebound binding.
+		Name: "replica-failover",
+		Run: func(t *testing.T, r *Rig, q QueryFn) {
+			const series = "rho"
+			r.StartMemory(t, ReplHost, MemHostB)
+			r.Store(t, ReplHost, series, 20)
+			// Let the asynchronous fan-out drain so the replica's window
+			// is caught up and the failover answer is not degraded.
+			r.Advance(t, 30*time.Second)
+			r.Expect(t, "warm against the primary", q, series, nil)
+			r.TR.SetDown(ReplHost, true)
+			r.Expect(t, "primary dies: replica answers without TTL wait", q, series, nil)
+			r.Expect(t, "rebound binding keeps answering", q, series, nil)
+			r.TR.SetDown(ReplHost, false)
 		},
 	},
 	{

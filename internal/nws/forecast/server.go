@@ -8,6 +8,7 @@ import (
 	"nwsenv/internal/nws/predict"
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/query"
+	"nwsenv/internal/telemetry"
 )
 
 // Server is a running NWS forecaster. Each request follows the four-step
@@ -40,6 +41,12 @@ func NewServer(st proto.Port, ns *nameserver.Client, history int) *Server {
 
 // Name returns the forecaster's directory name.
 func (s *Server) Name() string { return "forecaster." + s.st.Host() }
+
+// SetTelemetry instruments the forecaster's embedded query client
+// against r — cache hit/miss, lookup and, with replication on,
+// failover counters ride the same registry as every other role's.
+// Call before Run; a nil registry leaves the client uninstrumented.
+func (s *Server) SetTelemetry(r *telemetry.Registry) { s.qc.SetTelemetry(r) }
 
 // Run serves forecast requests until the station closes. The directory
 // registration is kept fresh so query-plane discovery (LookupKind
@@ -102,6 +109,9 @@ func (s *Server) handleForecast(req proto.Message) {
 	case errors.Is(err, query.ErrSeriesUnknown):
 		s.st.ReplyError(req, "forecaster: unknown series %q", req.Series)
 		return
+	case errors.Is(err, query.ErrDegraded):
+		// A lagging replica's window is still a usable history: predict
+		// from what arrived rather than failing the forecast.
 	case err != nil:
 		s.st.ReplyError(req, "forecaster: fetch: %v", err)
 		return
@@ -145,7 +155,7 @@ func (s *Server) handleBatchForecast(req proto.Message) {
 	}
 	results := make([]proto.ForecastResult, len(req.Queries))
 	for i, fr := range s.qc.FetchMany(fetches) {
-		if fr.Err != nil {
+		if fr.Err != nil && !errors.Is(fr.Err, query.ErrDegraded) {
 			results[i] = proto.ForecastResult{
 				Series: fr.Series, Error: fr.Err.Error(), Code: query.ErrCode(fr.Err),
 			}

@@ -13,6 +13,7 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -140,6 +141,12 @@ func (s *Server) handleFetch(req proto.Message) {
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()
 			out[i].Code = query.ErrCode(r.Err)
+			// A degraded answer keeps its samples; the lag watermark rides
+			// the result so the caller can rehydrate the advisory.
+			var de *query.DegradedError
+			if errors.As(r.Err, &de) {
+				out[i].Replica, out[i].Lag = true, de.Lag
+			}
 		}
 	}
 	s.st.Reply(req, proto.Message{Type: proto.MsgQueryFetchReply, Version: replyVersion(req.Version), Results: out})
@@ -241,7 +248,14 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) ([]query.Result, error) {
 	}
 	out := make([]query.Result, len(reply.Results))
 	for i, r := range reply.Results {
-		out[i] = query.Result{Series: r.Series, Samples: r.Samples, Err: wireError(r.Code, r.Error)}
+		out[i] = query.Result{Series: r.Series, Samples: r.Samples}
+		if r.Code == proto.CodeDegraded {
+			// Rehydrate the staleness advisory with its lag watermark; the
+			// samples stay usable.
+			out[i].Err = &query.DegradedError{Lag: r.Lag, Msg: "via gateway: " + r.Error}
+		} else {
+			out[i].Err = wireError(r.Code, r.Error)
+		}
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@
 package host
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -40,6 +41,11 @@ type Roles struct {
 	Memory bool
 	// MemoryRetention caps stored samples per series (0 = default).
 	MemoryRetention int
+	// MemoryReplicas lists the replica hosts (node IDs) this memory
+	// server fans accepted stores out to. Replica hosts run plain memory
+	// servers themselves (Memory set, empty MemoryReplicas unless they
+	// are primaries too).
+	MemoryReplicas []string
 	// Forecaster runs a forecaster here.
 	Forecaster bool
 	// ForecastHistory bounds samples fetched per forecast.
@@ -82,6 +88,12 @@ type Agent struct {
 	inboxes map[string]proto.Inbox // routing key -> role inbox
 	members []*clique.Member
 	closed  bool
+
+	// memSrv is the memory server running here (nil without the role);
+	// memImage, when set before Start, seeds it from a persisted image so
+	// an in-place rebuild keeps its retained windows.
+	memSrv   *memory.Server
+	memImage []byte
 }
 
 // routing keys
@@ -119,6 +131,23 @@ func (a *Agent) Station() *proto.Station { return a.st }
 
 // Members returns the clique members running on this agent.
 func (a *Agent) Members() []*clique.Member { return a.members }
+
+// SetMemoryImage seeds the memory role from an image written by
+// memory.Server.Persist. It must be called before Start.
+func (a *Agent) SetMemoryImage(data []byte) { a.memImage = data }
+
+// PersistMemory snapshots the memory server's retained state (false
+// when the memory role is not running here).
+func (a *Agent) PersistMemory() ([]byte, bool) {
+	if a.memSrv == nil {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if err := a.memSrv.Persist(&buf); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
 
 // rolePort adapts a role inbox + the shared station into a proto.Port.
 type rolePort struct {
@@ -170,11 +199,23 @@ func (a *Agent) Start() {
 		if a.roles.MemoryRetention > 0 {
 			opts = append(opts, memory.WithRetention(a.roles.MemoryRetention))
 		}
+		if len(a.roles.MemoryReplicas) > 0 {
+			opts = append(opts, memory.WithReplicas(a.roles.MemoryReplicas...))
+		}
+		opts = append(opts, memory.WithTelemetry(a.roles.Telemetry))
 		srv := memory.New(a.port(keyMemory), nsc, opts...)
+		if a.memImage != nil {
+			// Seed from the persisted image before the server runs, so no
+			// request can observe the empty pre-restore state.
+			srv.Restore(bytes.NewReader(a.memImage))
+			a.memImage = nil
+		}
+		a.memSrv = srv
 		a.rt.Go("memory:"+hostName, srv.Run)
 	}
 	if a.roles.Forecaster {
 		srv := forecast.NewServer(a.port(keyForecast), nsc, a.roles.ForecastHistory)
+		srv.SetTelemetry(a.roles.Telemetry)
 		a.rt.Go("forecaster:"+hostName, srv.Run)
 	}
 	if a.roles.Gateway && a.roles.NSHost != "" {
@@ -244,9 +285,10 @@ func (a *Agent) dispatch() {
 		}
 		key := ""
 		switch msg.Type {
-		case proto.MsgRegister, proto.MsgUnregister, proto.MsgLookup:
+		case proto.MsgRegister, proto.MsgRegisterBulk, proto.MsgUnregister, proto.MsgLookup:
 			key = keyNS
-		case proto.MsgStore, proto.MsgFetch, proto.MsgBatchFetch:
+		case proto.MsgStore, proto.MsgFetch, proto.MsgBatchFetch,
+			proto.MsgReplStore, proto.MsgReplWindow, proto.MsgReplSync, proto.MsgReplRepair:
 			key = keyMemory
 		case proto.MsgForecast, proto.MsgBatchForecast:
 			key = keyForecast

@@ -5,7 +5,6 @@ package memory
 
 import (
 	"encoding/gob"
-	"errors"
 	"io"
 	"sort"
 	"sync"
@@ -13,6 +12,8 @@ import (
 
 	"nwsenv/internal/nws/nameserver"
 	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/replica"
+	"nwsenv/internal/telemetry"
 )
 
 // DefaultRetention is the per-series sample cap when none is configured.
@@ -27,11 +28,25 @@ type Server struct {
 	// the configured cap instead of adopting the persisted one.
 	retentionSet bool
 
+	// Replication plane. replicas is this primary's configured replica
+	// set (node IDs); fan is the async write fan-out feeding it; tracker
+	// carries both the primary-side cumulative totals and the
+	// replica-side applied/seen watermarks; met is nil-safe telemetry.
+	replicas []string
+	fan      *replica.Fanout
+	tracker  *replica.Tracker
+	met      replica.Metrics
+	tele     *telemetry.Registry
+
 	mu     sync.Mutex
 	series map[string][]proto.Sample
 	// registered tracks which series have been advertised to the name
 	// server already.
 	registered map[string]bool
+	// origin maps a replica-held series to the primary host that fans it
+	// out here. Owned series never appear; a series adopted by repair or
+	// promoted by a direct store leaves the map.
+	origin map[string]string
 }
 
 // Option configures the server.
@@ -47,6 +62,25 @@ func WithRetention(n int) Option {
 	}
 }
 
+// WithReplicas configures the replica hosts (node IDs) this primary
+// fans accepted stores out to. Replicas learn the set from directory
+// registrations, so query clients can fail over without a lookup.
+func WithReplicas(hosts ...string) Option {
+	return func(s *Server) {
+		for _, h := range hosts {
+			if h != "" {
+				s.replicas = append(s.replicas, h)
+			}
+		}
+		sort.Strings(s.replicas)
+	}
+}
+
+// WithTelemetry counts replication-plane activity in reg.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) { s.tele = reg }
+}
+
 // New creates a memory server on st that registers itself (and each new
 // series) with the name server reachable through ns. ns may be nil for
 // standalone use.
@@ -55,12 +89,15 @@ func New(st proto.Port, ns *nameserver.Client, opts ...Option) *Server {
 		st:         st,
 		ns:         ns,
 		retention:  DefaultRetention,
+		tracker:    replica.NewTracker(),
 		series:     map[string][]proto.Sample{},
 		registered: map[string]bool{},
+		origin:     map[string]string{},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.met = replica.NewMetrics(s.tele)
 	return s
 }
 
@@ -74,14 +111,20 @@ func (s *Server) Name() string { return "memory." + s.st.Host() }
 // a per-tick callback re-advertising the owned series, so the
 // retry/exit policy lives in exactly one place.
 func (s *Server) Run() {
+	if len(s.replicas) > 0 && s.fan == nil {
+		s.fan = replica.NewFanout(s.st, s.replicas, s.tracker, s.met)
+	}
 	if s.ns != nil {
-		reg := proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host()}
+		reg := proto.Registration{Name: s.Name(), Kind: "memory", Host: s.st.Host(), Replicas: s.replicas}
 		s.ns.Register(reg)
 		s.st.Runtime().Go("memory-refresh:"+s.st.Host(), func() { s.ns.KeepRegistered(reg, s.refreshSeries) })
 	}
 	for {
 		req, ok := s.st.Recv()
 		if !ok {
+			if s.fan != nil {
+				s.fan.Stop()
+			}
 			return
 		}
 		switch req.Type {
@@ -91,6 +134,14 @@ func (s *Server) Run() {
 			s.handleFetch(req)
 		case proto.MsgBatchFetch:
 			s.handleBatchFetch(req)
+		case proto.MsgReplStore:
+			s.handleReplStore(req)
+		case proto.MsgReplWindow:
+			s.handleReplWindow(req)
+		case proto.MsgReplSync:
+			s.handleReplSync(req)
+		case proto.MsgReplRepair:
+			s.handleReplRepair(req)
 		case proto.MsgPing:
 			s.st.Reply(req, proto.Message{Type: proto.MsgPong})
 		default:
@@ -101,13 +152,24 @@ func (s *Server) Run() {
 
 // refreshSeries re-advertises every series this server owns: the
 // per-tick callback KeepRegistered runs after each successful server
-// refresh. Every series gets its own attempt each tick — a transient
-// failure on one (a timed-out call over a degraded link) must not
-// starve the series sorted after it of their refresh — and the first
-// such failure is reported so the lifecycle loop knows the tick was
-// incomplete. Only station teardown (proto.ErrClosed) aborts the
-// sweep, ending the loop.
+// refresh. The whole sweep is one bulk re-register round-trip — at
+// thousands of hosts with dozens of series each, per-series calls are
+// the directory plane's wall — so a transient failure costs one tick
+// for every series at once and is retried on the next. The error is
+// reported so the lifecycle loop knows the tick was incomplete; only
+// station teardown (proto.ErrClosed) ends the loop.
 func (s *Server) refreshSeries() error {
+	regs := s.ownedRegistrations()
+	if len(regs) == 0 {
+		return nil
+	}
+	_, err := s.ns.RegisterBulk(regs)
+	return err
+}
+
+// ownedRegistrations builds the directory entries for every series this
+// server owns, in sorted order, each carrying the replica set.
+func (s *Server) ownedRegistrations() []proto.Registration {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.registered))
 	for name := range s.registered {
@@ -115,22 +177,14 @@ func (s *Server) refreshSeries() error {
 	}
 	s.mu.Unlock()
 	sort.Strings(names)
-	var firstErr error
-	for _, name := range names {
-		err := s.ns.Register(proto.Registration{
+	regs := make([]proto.Registration, len(names))
+	for i, name := range names {
+		regs[i] = proto.Registration{
 			Name: name, Kind: "series", Host: s.st.Host(), Owner: s.Name(),
-		})
-		if err == nil {
-			continue
-		}
-		if errors.Is(err, proto.ErrClosed) {
-			return err
-		}
-		if firstErr == nil {
-			firstErr = err
+			Replicas: s.replicas,
 		}
 	}
-	return firstErr
+	return regs
 }
 
 func (s *Server) handleStore(req proto.Message) {
@@ -139,17 +193,29 @@ func (s *Server) handleStore(req proto.Message) {
 		return
 	}
 	s.mu.Lock()
+	// A direct store onto a replica-held series promotes it to owned:
+	// the sensor feed has rehomed here, so this server is its primary
+	// now and the stale replica bookkeeping must not shadow that.
+	delete(s.origin, req.Series)
 	buf := append(s.series[req.Series], req.Samples...)
 	if over := len(buf) - s.retention; over > 0 {
 		buf = append([]proto.Sample(nil), buf[over:]...)
 	}
 	s.series[req.Series] = buf
 	s.mu.Unlock()
+	total := s.tracker.Bump(req.Series, len(req.Samples))
+	if s.fan != nil && len(req.Samples) > 0 {
+		// The fan-out retains the samples past this request, and decoded
+		// slices share the frame's backing array: copy.
+		s.fan.Store(req.Series, append([]proto.Sample(nil), req.Samples...), total)
+	}
 	if s.ns != nil && !s.isRegistered(req.Series) {
 		// Advertise series ownership so forecasters can find the right
-		// memory server (§2.1 step 2).
+		// memory server (§2.1 step 2). The entry carries the replica set
+		// so query clients learn their failover targets from the cache.
 		if err := s.ns.Register(proto.Registration{
 			Name: req.Series, Kind: "series", Host: s.st.Host(), Owner: s.Name(),
+			Replicas: s.replicas,
 		}); err == nil {
 			s.mu.Lock()
 			s.registered[req.Series] = true
@@ -213,9 +279,184 @@ func (s *Server) handleBatchFetch(req proto.Message) {
 		start := len(backing)
 		backing = append(backing, buf[len(buf)-n:]...)
 		results[i] = proto.SeriesResult{Series: q.Series, Samples: backing[start:len(backing):len(backing)]}
+		if _, held := s.origin[q.Series]; held {
+			// Served from a replica copy: mark it so clients can surface
+			// degraded (stale-but-available) answers, with the lag
+			// watermark alongside.
+			results[i].Replica = true
+			results[i].Lag = s.tracker.Lag(q.Series)
+		}
 	}
 	s.mu.Unlock()
 	s.st.Reply(req, proto.Message{Type: proto.MsgBatchFetchReply, Version: ver, Results: results})
+}
+
+// handleReplStore applies one fan-out append from a primary. An owned
+// series ignores it (the sender is stale — ownership moved here), and
+// the reply always acks: replication is at-most-once by design.
+func (s *Server) handleReplStore(req proto.Message) {
+	s.mu.Lock()
+	if s.registered[req.Series] {
+		s.mu.Unlock()
+		s.st.Reply(req, proto.Message{Type: proto.MsgReplAck})
+		return
+	}
+	s.origin[req.Series] = req.From
+	buf := append(s.series[req.Series], req.Samples...)
+	if over := len(buf) - s.retention; over > 0 {
+		buf = append([]proto.Sample(nil), buf[over:]...)
+	}
+	s.series[req.Series] = buf
+	s.mu.Unlock()
+	lag := s.tracker.Apply(req.Series, len(req.Samples), req.Total)
+	s.met.Lag.Observe(float64(lag))
+	s.st.Reply(req, proto.Message{Type: proto.MsgReplAck, Total: lag})
+}
+
+// handleReplWindow replaces a replica-held series' retained window
+// wholesale (anti-entropy backfill): dedup-safe however many times it
+// is delivered, and it declares the replica caught up to the sender's
+// cumulative total.
+func (s *Server) handleReplWindow(req proto.Message) {
+	s.mu.Lock()
+	if s.registered[req.Series] {
+		s.mu.Unlock()
+		s.st.Reply(req, proto.Message{Type: proto.MsgReplAck})
+		return
+	}
+	s.origin[req.Series] = req.From
+	buf := append([]proto.Sample(nil), req.Samples...)
+	if over := len(buf) - s.retention; over > 0 {
+		buf = append([]proto.Sample(nil), buf[over:]...)
+	}
+	s.series[req.Series] = buf
+	s.mu.Unlock()
+	s.tracker.SetApplied(req.Series, req.Total)
+	s.st.Reply(req, proto.Message{Type: proto.MsgReplAck})
+}
+
+// handleReplSync hands a repairing primary every series this server
+// holds as a replica of the dead primary host named in req.Name. Each
+// result reuses Lag as the sender's cumulative watermark for the
+// series, so the adopter can pin its totals monotonically.
+func (s *Server) handleReplSync(req proto.Message) {
+	s.mu.Lock()
+	var results []proto.SeriesResult
+	for name, from := range s.origin {
+		if from != req.Name {
+			continue
+		}
+		results = append(results, proto.SeriesResult{
+			Series:  name,
+			Samples: append([]proto.Sample(nil), s.series[name]...),
+			Replica: true,
+			Lag:     s.tracker.Watermark(name),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(results, func(i, j int) bool { return results[i].Series < results[j].Series })
+	s.st.Reply(req, proto.Message{Type: proto.MsgReplSyncReply, Version: proto.V3, Results: results})
+}
+
+// handleReplRepair re-establishes the replication factor after a crash:
+// this server becomes the primary for every series the dead primary
+// (req.Reg.Name, a host) owned, sourcing the retained windows from the
+// survivor req.Reg.Host — itself, when it was in the dead primary's
+// replica set — and pushing full windows to its own replica set. The
+// ack reports series adopted (Count) and samples backfilled (Total).
+func (s *Server) handleReplRepair(req proto.Message) {
+	dead, survivor := req.Reg.Name, req.Reg.Host
+	var results []proto.SeriesResult
+	if survivor == s.st.Host() {
+		s.mu.Lock()
+		for name, from := range s.origin {
+			if from != dead {
+				continue
+			}
+			results = append(results, proto.SeriesResult{
+				Series:  name,
+				Samples: append([]proto.Sample(nil), s.series[name]...),
+				Lag:     s.tracker.Watermark(name),
+			})
+		}
+		s.mu.Unlock()
+		sort.Slice(results, func(i, j int) bool { return results[i].Series < results[j].Series })
+	} else {
+		reply, err := s.st.Call(survivor, proto.Message{
+			Type: proto.MsgReplSync, Version: proto.V3, Name: dead,
+		}, 30*time.Second)
+		if err != nil {
+			s.st.ReplyError(req, "memory: repair sync with survivor %s: %v", survivor, err)
+			return
+		}
+		results = reply.Results
+	}
+	adopted, backfilled := s.adoptSeries(results)
+	s.met.Backfill.Add(backfilled)
+	s.st.Reply(req, proto.Message{Type: proto.MsgReplAck, Count: adopted, Total: backfilled})
+}
+
+// adoptSeries takes ownership of the given series windows: each one is
+// merged under the retention cap (survivor history in front of any
+// samples a rehomed sensor already stored here), its totals pinned, the
+// ownership advertised in one bulk round-trip, and the full window
+// pushed to this server's replica set.
+func (s *Server) adoptSeries(results []proto.SeriesResult) (adopted int, backfilled int64) {
+	type push struct {
+		name    string
+		samples []proto.Sample
+		total   int64
+	}
+	var pushes []push
+	s.mu.Lock()
+	for _, r := range results {
+		if r.Series == "" {
+			continue
+		}
+		merged := mergeWindows(r.Samples, s.series[r.Series])
+		if over := len(merged) - s.retention; over > 0 {
+			merged = merged[over:]
+		}
+		s.series[r.Series] = append([]proto.Sample(nil), merged...)
+		delete(s.origin, r.Series)
+		if !s.registered[r.Series] {
+			s.registered[r.Series] = true
+		}
+		adopted++
+		backfilled += int64(len(r.Samples))
+		s.tracker.SetTotal(r.Series, r.Lag)
+		pushes = append(pushes, push{
+			name:    r.Series,
+			samples: append([]proto.Sample(nil), merged...),
+			total:   s.tracker.Total(r.Series),
+		})
+	}
+	s.mu.Unlock()
+	if s.ns != nil {
+		s.ns.RegisterBulk(s.ownedRegistrations())
+	}
+	if s.fan != nil {
+		for _, p := range pushes {
+			s.fan.Window(p.name, p.samples, p.total)
+		}
+	}
+	return adopted, backfilled
+}
+
+// mergeWindows prepends the survivor's window onto samples a rehomed
+// sensor may already have stored locally, dropping survivor samples
+// that overlap the local run (local samples are newer by construction).
+func mergeWindows(survivor, local []proto.Sample) []proto.Sample {
+	if len(local) == 0 {
+		return survivor
+	}
+	cut := len(survivor)
+	for cut > 0 && survivor[cut-1].At >= local[0].At {
+		cut--
+	}
+	out := make([]proto.Sample, 0, cut+len(local))
+	out = append(out, survivor[:cut]...)
+	return append(out, local...)
 }
 
 // clampCount resolves a request's Count against the retained window
@@ -238,21 +479,35 @@ func (s *Server) SeriesNames() []string {
 	return names
 }
 
-// persistedState is the gob image written by Persist.
+// persistedState is the gob image written by Persist. The replication
+// bookkeeping rides along so an in-place rebuild (incremental redeploy)
+// restores replica-held windows and watermarks, not just owned series.
 type persistedState struct {
 	Retention int
 	Series    map[string][]proto.Sample
+	Origin    map[string]string
+	Total     map[string]int64
+	Applied   map[string]int64
+	Seen      map[string]int64
 }
 
 // Persist writes the stored series (gob) — the "on disk" half of the
 // paper's memory server.
 func (s *Server) Persist(w io.Writer) error {
 	s.mu.Lock()
-	st := persistedState{Retention: s.retention, Series: map[string][]proto.Sample{}}
+	st := persistedState{
+		Retention: s.retention,
+		Series:    map[string][]proto.Sample{},
+		Origin:    map[string]string{},
+	}
 	for name, buf := range s.series {
 		st.Series[name] = append([]proto.Sample(nil), buf...)
 	}
+	for name, from := range s.origin {
+		st.Origin[name] = from
+	}
 	s.mu.Unlock()
+	st.Total, st.Applied, st.Seen = s.tracker.Snapshot()
 	return gob.NewEncoder(w).Encode(st)
 }
 
@@ -266,6 +521,7 @@ func (s *Server) Restore(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return err
 	}
+	s.tracker.Load(st.Total, st.Applied, st.Seen)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.retentionSet && st.Retention > 0 {
@@ -277,6 +533,10 @@ func (s *Server) Restore(r io.Reader) error {
 			buf = buf[over:]
 		}
 		s.series[name] = append([]proto.Sample(nil), buf...)
+	}
+	s.origin = map[string]string{}
+	for name, from := range st.Origin {
+		s.origin[name] = from
 	}
 	return nil
 }

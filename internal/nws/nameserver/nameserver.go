@@ -37,6 +37,8 @@ func (s *Server) Run() {
 		switch req.Type {
 		case proto.MsgRegister:
 			s.handleRegister(req)
+		case proto.MsgRegisterBulk:
+			s.handleRegisterBulk(req)
 		case proto.MsgUnregister:
 			delete(s.entries, req.Name)
 			s.st.Reply(req, proto.Message{Type: proto.MsgRegisterAck})
@@ -62,6 +64,29 @@ func (s *Server) handleRegister(req proto.Message) {
 	reg.Expires = s.st.Runtime().Now() + reg.TTL
 	s.entries[reg.Name] = reg
 	s.st.Reply(req, proto.Message{Type: proto.MsgRegisterAck})
+}
+
+// handleRegisterBulk creates or refreshes many entries in one
+// round-trip: the directory-plane batching that keeps a host's per-tick
+// series re-advertisement at one message regardless of how many series
+// it owns. Entries without a name are skipped (a bulk refresh must not
+// fail wholesale over one malformed entry); Count reports how many were
+// accepted.
+func (s *Server) handleRegisterBulk(req proto.Message) {
+	now := s.st.Runtime().Now()
+	accepted := 0
+	for _, reg := range req.Regs {
+		if reg.Name == "" {
+			continue
+		}
+		if reg.TTL <= 0 {
+			reg.TTL = DefaultTTL
+		}
+		reg.Expires = now + reg.TTL
+		s.entries[reg.Name] = reg
+		accepted++
+	}
+	s.st.Reply(req, proto.Message{Type: proto.MsgRegisterAck, Count: accepted})
 }
 
 func (s *Server) handleLookup(req proto.Message) {
@@ -154,6 +179,19 @@ func (c *Client) KeepRegistered(reg proto.Registration, onTick func() error) {
 			return
 		}
 	}
+}
+
+// RegisterBulk creates or refreshes many directory entries in one
+// round-trip. It returns how many entries the server accepted.
+func (c *Client) RegisterBulk(regs []proto.Registration) (int, error) {
+	if len(regs) == 0 {
+		return 0, nil
+	}
+	reply, err := c.St.Call(c.NSHost, proto.Message{Type: proto.MsgRegisterBulk, Version: proto.V3, Regs: regs}, c.Timeout)
+	if err != nil {
+		return 0, err
+	}
+	return reply.Count, nil
 }
 
 // Unregister removes an entry by name.

@@ -73,7 +73,12 @@ func appendReg(b []byte, r *Registration) []byte {
 	b = appendString(b, r.Host)
 	b = appendString(b, r.Owner)
 	b = appendVarint(b, int64(r.TTL))
-	return appendVarint(b, int64(r.Expires))
+	b = appendVarint(b, int64(r.Expires))
+	b = appendUvarint(b, uint64(len(r.Replicas)))
+	for _, h := range r.Replicas {
+		b = appendString(b, h)
+	}
+	return b
 }
 
 func appendSamples(b []byte, ss []Sample) []byte {
@@ -119,6 +124,12 @@ func AppendEncode(buf []byte, m *Message) []byte {
 		b = appendSamples(b, r.Samples)
 		b = appendString(b, r.Error)
 		b = appendString(b, r.Code)
+		if r.Replica {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendVarint(b, r.Lag)
 	}
 	b = appendUvarint(b, uint64(len(m.Forecasts)))
 	for i := range m.Forecasts {
@@ -139,6 +150,7 @@ func AppendEncode(buf []byte, m *Message) []byte {
 	b = appendString(b, m.Clique)
 	b = appendVarint(b, m.TokenSeq)
 	b = appendVarint(b, m.Epoch)
+	b = appendVarint(b, m.Total)
 	return b
 }
 
@@ -160,8 +172,13 @@ func sizeVarint(v int64) int {
 func sizeString(s string) int { return sizeUvarint(uint64(len(s))) + len(s) }
 
 func sizeReg(r *Registration) int {
-	return sizeString(r.Name) + sizeString(r.Kind) + sizeString(r.Host) +
+	n := sizeString(r.Name) + sizeString(r.Kind) + sizeString(r.Host) +
 		sizeString(r.Owner) + sizeVarint(int64(r.TTL)) + sizeVarint(int64(r.Expires))
+	n += sizeUvarint(uint64(len(r.Replicas)))
+	for _, h := range r.Replicas {
+		n += sizeString(h)
+	}
+	return n
 }
 
 func sizeSamples(ss []Sample) int {
@@ -192,6 +209,7 @@ func EncodedSize(m *Message) int {
 	for i := range m.Results {
 		r := &m.Results[i]
 		n += sizeString(r.Series) + sizeSamples(r.Samples) + sizeString(r.Error) + sizeString(r.Code)
+		n += 1 + sizeVarint(r.Lag)
 	}
 	n += sizeUvarint(uint64(len(m.Forecasts)))
 	for i := range m.Forecasts {
@@ -200,7 +218,7 @@ func EncodedSize(m *Message) int {
 			sizeVarint(int64(f.Count)) + sizeString(f.Error) + sizeString(f.Code)
 	}
 	n += 24 + sizeString(m.Method) + sizeString(m.Clique) +
-		sizeVarint(m.TokenSeq) + sizeVarint(m.Epoch)
+		sizeVarint(m.TokenSeq) + sizeVarint(m.Epoch) + sizeVarint(m.Total)
 	return n
 }
 
@@ -287,7 +305,30 @@ func (d *decoder) reg(r *Registration) error {
 		return err
 	}
 	r.TTL, r.Expires = time.Duration(ttl), time.Duration(exp)
+	nRep, err := d.count(1)
+	if err != nil {
+		return err
+	}
+	r.Replicas = nil
+	if nRep > 0 {
+		r.Replicas = make([]string, nRep)
+		for i := range r.Replicas {
+			if r.Replicas[i], err = d.str(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// boolByte reads a single 0/1 byte.
+func (d *decoder) boolByte() (bool, error) {
+	if d.pos >= len(d.b) {
+		return false, fmt.Errorf("%w: bool at offset %d", ErrTruncated, d.pos)
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v != 0, nil
 }
 
 // samples decodes one sample run into a subslice of the shared backing
@@ -356,7 +397,7 @@ func Decode(data []byte, m *Message) error {
 	if m.Name, err = d.str(); err != nil {
 		return err
 	}
-	nRegs, err := d.count(6)
+	nRegs, err := d.count(7)
 	if err != nil {
 		return err
 	}
@@ -400,7 +441,7 @@ func Decode(data []byte, m *Message) error {
 			m.Queries[i].Count = int(c)
 		}
 	}
-	nR, err := d.count(4)
+	nR, err := d.count(6)
 	if err != nil {
 		return err
 	}
@@ -418,6 +459,12 @@ func Decode(data []byte, m *Message) error {
 				return err
 			}
 			if r.Code, err = d.str(); err != nil {
+				return err
+			}
+			if r.Replica, err = d.boolByte(); err != nil {
+				return err
+			}
+			if r.Lag, err = d.varint(); err != nil {
 				return err
 			}
 		}
@@ -477,6 +524,9 @@ func Decode(data []byte, m *Message) error {
 		return err
 	}
 	if m.Epoch, err = d.varint(); err != nil {
+		return err
+	}
+	if m.Total, err = d.varint(); err != nil {
 		return err
 	}
 	if d.pos != len(d.b) {

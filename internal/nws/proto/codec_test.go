@@ -43,6 +43,20 @@ func codecShapes() []Message {
 			}},
 		{Type: MsgQueryFetchReply, Version: V3, From: "gw", ID: 14, ReplyTo: 2, Error: "boom",
 			Results: []SeriesResult{{Series: "a", Samples: samples}, {Series: "b", Samples: samples[:1]}}},
+		{Type: MsgRegister, Version: V3, From: "m1", ID: 15,
+			Reg: Registration{Name: "cpu.h1", Kind: "series", Host: "h1", Owner: "memory.h1",
+				TTL: 30 * time.Second, Replicas: []string{"h2", "h3"}}},
+		{Type: MsgRegisterBulk, Version: V3, From: "m1", ID: 16,
+			Regs: []Registration{reg, {Name: "b", Replicas: []string{"h4"}}}},
+		{Type: MsgReplStore, Version: V3, From: "m1", ID: 17,
+			Series: "cpu.h1", Samples: samples, Total: 42},
+		{Type: MsgReplWindow, Version: V3, From: "m1", ID: 18,
+			Series: "cpu.h1", Samples: samples, Total: 2},
+		{Type: MsgReplSyncReply, Version: V3, From: "m2", ID: 19, ReplyTo: 18,
+			Results: []SeriesResult{{Series: "cpu.h1", Samples: samples, Replica: true, Lag: 3}}},
+		{Type: MsgReplRepair, Version: V3, From: "master", ID: 20,
+			Reg: Registration{Name: "memory.h1", Host: "h2", Replicas: []string{"h3"}}},
+		{Type: MsgReplAck, Version: V3, From: "m2", ID: 21, ReplyTo: 20, Count: 2, Total: 64},
 	}
 }
 

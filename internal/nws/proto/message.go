@@ -57,6 +57,27 @@ const (
 	MsgQueryFetchReply
 	MsgQueryForecast
 	MsgQueryForecastReply
+
+	// Bulk directory refresh: one round-trip re-registers every entry a
+	// host owns (Regs carries the batch; the ack is MsgRegisterAck).
+	MsgRegisterBulk
+
+	// Replication plane (V3). ReplStore appends fan-out samples on a
+	// replica (Total carries the primary's cumulative per-series count,
+	// so the replica can compute its lag watermark); ReplWindow replaces
+	// a replica's retained window wholesale (anti-entropy backfill);
+	// ReplSync asks a survivor for every series owned by a dead primary
+	// (ReplSyncReply answers with Results, reusing SeriesResult.Lag as
+	// the sender's cumulative total); ReplRepair tells a new primary to
+	// adopt a dead primary's series from a survivor (the Reg bag names
+	// the dead primary, the survivor node and the new replica set);
+	// ReplAck is the generic replication ack.
+	MsgReplStore
+	MsgReplWindow
+	MsgReplSync
+	MsgReplSyncReply
+	MsgReplRepair
+	MsgReplAck
 )
 
 var msgNames = map[MsgType]string{
@@ -75,6 +96,10 @@ var msgNames = map[MsgType]string{
 	MsgBatchForecast: "BatchForecast", MsgBatchForecastReply: "BatchForecastReply",
 	MsgQueryFetch: "QueryFetch", MsgQueryFetchReply: "QueryFetchReply",
 	MsgQueryForecast: "QueryForecast", MsgQueryForecastReply: "QueryForecastReply",
+	MsgRegisterBulk: "RegisterBulk",
+	MsgReplStore:    "ReplStore", MsgReplWindow: "ReplWindow",
+	MsgReplSync: "ReplSync", MsgReplSyncReply: "ReplSyncReply",
+	MsgReplRepair: "ReplRepair", MsgReplAck: "ReplAck",
 }
 
 func (t MsgType) String() string {
@@ -92,6 +117,10 @@ type Registration struct {
 	Owner   string        // for series: the memory server name storing it
 	TTL     time.Duration // registration lifetime; refreshed by re-registering
 	Expires time.Duration // absolute virtual expiry (set by the name server)
+	// Replicas lists replica hosts holding a copy of this series (node
+	// IDs, primary excluded), so query clients learn the failover set
+	// from the directory entry itself.
+	Replicas []string
 }
 
 // Sample is one time-series measurement.
@@ -122,6 +151,10 @@ const (
 	// CodeBackendDown: a backend behind the answering server (name
 	// server, memory server) did not answer.
 	CodeBackendDown = "backend_down"
+	// CodeDegraded: the answer was served by a lagging replica after the
+	// primary failed; samples are present but may trail the primary by
+	// the lag watermark carried alongside.
+	CodeDegraded = "degraded"
 )
 
 // SeriesRequest names one series inside a batch query. Count bounds the
@@ -140,6 +173,13 @@ type SeriesResult struct {
 	Samples []Sample
 	Error   string
 	Code    string
+	// Replica marks an answer served by a replica rather than the
+	// series' primary; Lag is the replica's watermark at answer time
+	// (samples the primary had accepted that the replica had not). In a
+	// ReplSyncReply, Lag is reused as the sender's cumulative total for
+	// the series.
+	Replica bool
+	Lag     int64
 }
 
 // ForecastResult is one series' answer inside a batch forecast reply.
@@ -191,6 +231,12 @@ type Message struct {
 	Clique   string
 	TokenSeq int64
 	Epoch    int64 // election epoch
+
+	// Replication fields. Total is the sender's cumulative per-series
+	// sample count: on ReplStore the replica derives its lag watermark
+	// from it, on ReplWindow it becomes the replica's applied count, and
+	// on a ReplRepair ack it reports samples backfilled.
+	Total int64
 }
 
 // WireSize is the byte cost the simulated transport charges for a
@@ -214,7 +260,7 @@ func (m *Message) WireSize() int64 {
 	}
 	for i := range m.Results {
 		r := &m.Results[i]
-		n += int64(len(r.Series)+len(r.Error)+len(r.Code)) + int64(len(r.Samples))*16
+		n += int64(len(r.Series)+len(r.Error)+len(r.Code)) + int64(len(r.Samples))*16 + 16
 	}
 	for i := range m.Forecasts {
 		f := &m.Forecasts[i]
@@ -224,5 +270,9 @@ func (m *Message) WireSize() int64 {
 }
 
 func regEstimate(r *Registration) int64 {
-	return int64(len(r.Name)+len(r.Kind)+len(r.Host)+len(r.Owner)) + 16
+	n := int64(len(r.Name)+len(r.Kind)+len(r.Host)+len(r.Owner)) + 16
+	for _, h := range r.Replicas {
+		n += int64(len(h)) + 8
+	}
+	return n
 }

@@ -1,0 +1,73 @@
+package replica
+
+import "sort"
+
+// Place solves k-replica placement for memory primaries against the
+// topology's switch groups. primaries maps each memory server (by its
+// host name) to nothing in particular — the key set is what matters;
+// groups partitions candidate hosts by switch (one slice per switched
+// network or shared segment). Every primary gets up to k replica hosts,
+// never its own host, and never a host on its own switch when the
+// topology has enough hosts elsewhere — a switch loss must not take a
+// primary and its replicas together. When the topology is too small the
+// distinct-switch rule relaxes to distinct-host, preferring foreign
+// switches first. Selection is deterministic: primaries are solved in
+// sorted order and candidates ranked by (foreign switch, assignment
+// load, name), so the same topology always yields the same placement.
+func Place(primaries []string, groups [][]string, k int) map[string][]string {
+	if k <= 0 || len(primaries) == 0 {
+		return nil
+	}
+	groupOf := map[string]int{}
+	var hosts []string
+	for gi, g := range groups {
+		for _, h := range g {
+			if _, dup := groupOf[h]; !dup {
+				groupOf[h] = gi
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	sort.Strings(hosts)
+	sorted := append([]string(nil), primaries...)
+	sort.Strings(sorted)
+	load := map[string]int{}
+	out := make(map[string][]string, len(sorted))
+	for _, p := range sorted {
+		pg, ok := groupOf[p]
+		if !ok {
+			pg = -1
+		}
+		cands := make([]string, 0, len(hosts))
+		for _, h := range hosts {
+			if h != p {
+				cands = append(cands, h)
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			si, sj := groupOf[cands[i]] == pg, groupOf[cands[j]] == pg
+			if si != sj {
+				return !si // foreign switches first
+			}
+			if load[cands[i]] != load[cands[j]] {
+				return load[cands[i]] < load[cands[j]]
+			}
+			return cands[i] < cands[j]
+		})
+		n := k
+		if n > len(cands) {
+			n = len(cands)
+		}
+		if n == 0 {
+			continue
+		}
+		set := make([]string, n)
+		copy(set, cands[:n])
+		for _, h := range set {
+			load[h]++
+		}
+		sort.Strings(set)
+		out[p] = set
+	}
+	return out
+}

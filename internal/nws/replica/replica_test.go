@@ -1,0 +1,151 @@
+package replica
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"nwsenv/internal/nws/proto"
+	"nwsenv/internal/nws/proto/prototest"
+	"nwsenv/internal/telemetry"
+)
+
+func TestPlaceNeverSharesSwitchWithPrimary(t *testing.T) {
+	groups := [][]string{
+		{"a1", "a2", "a3"},
+		{"b1", "b2"},
+		{"c1", "c2"},
+	}
+	got := Place([]string{"a1", "b1"}, groups, 2)
+	groupOf := map[string]string{"a1": "a", "a2": "a", "a3": "a", "b1": "b", "b2": "b", "c1": "c", "c2": "c"}
+	for primary, set := range got {
+		if len(set) != 2 {
+			t.Fatalf("primary %s: want 2 replicas, got %v", primary, set)
+		}
+		for _, h := range set {
+			if h == primary {
+				t.Fatalf("primary %s replicated to itself", primary)
+			}
+			if groupOf[h] == groupOf[primary] {
+				t.Fatalf("primary %s replica %s shares its switch", primary, h)
+			}
+		}
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	groups := [][]string{{"a1", "a2"}, {"b1", "b2"}, {"c1"}}
+	first := Place([]string{"a1", "b1", "c1"}, groups, 1)
+	for i := 0; i < 10; i++ {
+		if again := Place([]string{"c1", "a1", "b1"}, groups, 1); !reflect.DeepEqual(first, again) {
+			t.Fatalf("placement not deterministic:\n first: %v\n again: %v", first, again)
+		}
+	}
+}
+
+func TestPlaceRelaxesToDistinctHost(t *testing.T) {
+	// One switch only: the distinct-switch rule cannot hold, but the
+	// primary still must never be its own replica.
+	got := Place([]string{"a1"}, [][]string{{"a1", "a2", "a3"}}, 2)
+	set := got["a1"]
+	if len(set) != 2 {
+		t.Fatalf("want relaxed 2-host set, got %v", set)
+	}
+	for _, h := range set {
+		if h == "a1" {
+			t.Fatal("primary placed as its own replica")
+		}
+	}
+}
+
+func TestTrackerLagWatermark(t *testing.T) {
+	tr := NewTracker()
+	// Primary accepts 3 then 2 samples.
+	if got := tr.Bump("s", 3); got != 3 {
+		t.Fatalf("Bump: got %d", got)
+	}
+	total := tr.Bump("s", 2)
+	if total != 5 {
+		t.Fatalf("Bump: got %d", total)
+	}
+	// Replica applied only the first message: lag = 2.
+	rep := NewTracker()
+	if lag := rep.Apply("s", 3, 3); lag != 0 {
+		t.Fatalf("in-sync replica reports lag %d", lag)
+	}
+	// Second fan-out message dropped; a later store surfaces the gap.
+	if lag := rep.Apply("s", 1, 6); lag != 2 {
+		t.Fatalf("want lag 2 after dropped message, got %d", lag)
+	}
+	// Anti-entropy window replacement catches the replica up.
+	rep.SetApplied("s", 6)
+	if lag := rep.Lag("s"); lag != 0 {
+		t.Fatalf("want lag 0 after window replacement, got %d", lag)
+	}
+}
+
+// fanPort records replica deliveries, optionally blocking to test the
+// bounded window.
+type fanPort struct {
+	prototest.StubPort
+	mu    sync.Mutex
+	calls []proto.Message
+	block chan struct{} // non-nil: Call blocks until closed
+}
+
+func (p *fanPort) Call(to string, m proto.Message, d time.Duration) (proto.Message, error) {
+	if p.block != nil {
+		<-p.block
+	}
+	p.mu.Lock()
+	p.calls = append(p.calls, m)
+	p.mu.Unlock()
+	return proto.Message{Type: proto.MsgReplAck}, nil
+}
+
+func TestFanoutDeliversAndCounts(t *testing.T) {
+	reg := telemetry.New(func() time.Duration { return 0 })
+	met := NewMetrics(reg)
+	port := &fanPort{StubPort: prototest.StubPort{HostName: "p", RT: proto.NewRealRuntime()}}
+	f := NewFanout(port, []string{"r1", "r2", "p"}, NewTracker(), met)
+	defer f.Stop()
+	if got := len(f.Replicas()); got != 2 {
+		t.Fatalf("self must be excluded from the replica set, got %d queues", got)
+	}
+	f.Store("s", []proto.Sample{{At: 1, Value: 2}}, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if met.Writes.Value() == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("want 2 delivered writes, got %d", met.Writes.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	port.mu.Lock()
+	defer port.mu.Unlock()
+	for _, m := range port.calls {
+		if m.Type != proto.MsgReplStore || m.Total != 1 || m.Series != "s" {
+			t.Fatalf("unexpected fan-out message %+v", m)
+		}
+	}
+}
+
+func TestFanoutShedsBeyondWindow(t *testing.T) {
+	reg := telemetry.New(func() time.Duration { return 0 })
+	met := NewMetrics(reg)
+	block := make(chan struct{})
+	port := &fanPort{StubPort: prototest.StubPort{HostName: "p", RT: proto.NewRealRuntime()}, block: block}
+	f := NewFanout(port, []string{"r1"}, NewTracker(), met)
+	defer f.Stop()
+	f.window = 2
+	for i := 0; i < 5; i++ {
+		f.Store("s", nil, int64(i+1))
+	}
+	if got := met.Drops.Value(); got != 3 {
+		t.Fatalf("want 3 shed sends beyond the window of 2, got %d", got)
+	}
+	close(block)
+}

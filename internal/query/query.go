@@ -37,7 +37,32 @@ var (
 	// ErrBackendDown: a backend (name server, memory server, forecaster)
 	// did not answer.
 	ErrBackendDown = errors.New("query: backend down")
+	// ErrDegraded: the answer was served from a replica that had not yet
+	// applied every primary write. The samples accompanying the error are
+	// still usable; the error is a staleness advisory, not a failure.
+	ErrDegraded = errors.New("query: degraded")
 )
+
+// DegradedError is the concrete ErrDegraded carrier: a successful
+// answer served from a lagging replica, with the replica's apply-lag
+// watermark (samples the primary had accepted that the replica had not
+// yet applied at answer time). errors.As recovers it; errors.Is matches
+// ErrDegraded.
+type DegradedError struct {
+	// Lag is the replica's sample watermark deficit.
+	Lag int64
+	// Msg carries provenance (the answering host, wire hops).
+	Msg string
+}
+
+func (e *DegradedError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("query: degraded: %s: replica lag %d sample(s)", e.Msg, e.Lag)
+	}
+	return fmt.Sprintf("query: degraded: replica lag %d sample(s)", e.Lag)
+}
+
+func (e *DegradedError) Unwrap() error { return ErrDegraded }
 
 // Defaults for the client's tunables.
 const (
@@ -181,6 +206,7 @@ type Client struct {
 	tBatchCalls    *telemetry.Counter
 	tForecastHits  *telemetry.Counter
 	tForecastCalls *telemetry.Counter
+	tFailovers     *telemetry.Counter
 }
 
 // New builds a client that issues its queries through an existing port
@@ -243,6 +269,7 @@ func (c *Client) SetTelemetry(r *telemetry.Registry) {
 	c.tBatchCalls = r.Counter("query", "batch_calls", nil)
 	c.tForecastHits = r.Counter("query", "forecast_hits", nil)
 	c.tForecastCalls = r.Counter("query", "forecast_calls", nil)
+	c.tFailovers = r.Counter("replica", "failovers_total", nil)
 }
 
 // InvalidateSeries drops a series from the discovery cache (tests and
@@ -440,8 +467,11 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 
 	// Resolve owners and group the fetches per backend. The warm path is
 	// one pass under one lock: every series fresh in the discovery cache
-	// binds to its host without touching the singleflight machinery.
+	// binds to its host without touching the singleflight machinery. The
+	// replica set each owner advertised rides along, captured here so the
+	// fan-out workers can fail over without another cache pass.
 	byHost := make(map[string][]int, 8)
+	replicasOf := make(map[string][]string, 8)
 	var unresolvedIdx []int
 	c.mu.Lock()
 	now := c.rt.Now()
@@ -458,6 +488,9 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 			continue
 		}
 		byHost[e.reg.Host] = append(byHost[e.reg.Host], i)
+		if len(e.reg.Replicas) > 0 {
+			replicasOf[e.reg.Host] = e.reg.Replicas
+		}
 	}
 	c.stats.LookupHits += hits
 	c.mu.Unlock()
@@ -493,6 +526,9 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 			continue
 		}
 		byHost[reg.Host] = append(byHost[reg.Host], i)
+		if len(reg.Replicas) > 0 {
+			replicasOf[reg.Host] = reg.Replicas
+		}
 	}
 	hosts := make([]string, 0, len(byHost))
 	total := 0
@@ -533,27 +569,101 @@ func (c *Client) FetchMany(reqs []proto.SeriesRequest) []Result {
 			Type: proto.MsgBatchFetch, Version: proto.V3, Queries: batch,
 		}, c.timeout)
 		bsp.End()
+		from := host
 		if err != nil {
+			// The primary stopped answering: evict its cached bindings and
+			// retry the whole batch against its advertised replica set
+			// before giving up. A replica that answers serves the same
+			// windows (marked Replica on the wire, with its apply lag), so
+			// the batch survives the crash without waiting for the
+			// directory TTL or a reconcile round.
 			c.dropBackend(host)
-			for _, i := range idxs {
-				results[i].Err = fmt.Errorf("%w: memory %s: %v", ErrBackendDown, host, err)
+			var ferr error
+			reply, from, ferr = c.failoverFetch(root, replicasOf[host], batch)
+			if ferr != nil {
+				for _, i := range idxs {
+					results[i].Err = fmt.Errorf("%w: memory %s: %v", ErrBackendDown, host, err)
+				}
+				return
 			}
-			return
 		}
+		var served []string
 		for k, i := range idxs {
 			if k >= len(reply.Results) {
-				results[i].Err = fmt.Errorf("%w: memory %s: short batch reply", ErrBackendDown, host)
+				results[i].Err = fmt.Errorf("%w: memory %s: short batch reply", ErrBackendDown, from)
 				continue
 			}
 			r := reply.Results[k]
 			if r.Error != "" {
-				results[i].Err = fmt.Errorf("%w: memory %s: %s", ErrBackendDown, host, r.Error)
+				results[i].Err = fmt.Errorf("%w: memory %s: %s", ErrBackendDown, from, r.Error)
 				continue
 			}
 			results[i].Samples = r.Samples
+			if r.Replica && r.Lag > 0 {
+				// Served from a lagging replica: the samples stand, the
+				// error reports how far behind the window may be.
+				results[i].Err = &DegradedError{Lag: r.Lag, Msg: "memory " + from}
+			}
+			if from != host {
+				served = append(served, results[i].Series)
+			}
+		}
+		if from != host {
+			c.rebind(served, from, replicasOf[host], host)
 		}
 	})
 	return results
+}
+
+// failoverFetch retries a fetch batch against a failed primary's
+// replicas in placement order; the first one answering wins and counts
+// on replica/failovers_total. Returns the reply and the answering host.
+func (c *Client) failoverFetch(root *telemetry.ActiveSpan, replicas []string, batch []proto.SeriesRequest) (proto.Message, string, error) {
+	for _, rh := range replicas {
+		if rh == "" {
+			continue
+		}
+		var bsp *telemetry.ActiveSpan
+		if root != nil {
+			bsp = root.Child("failover", telemetry.Attr{Key: "host", Value: rh})
+		}
+		reply, err := c.port.Call(rh, proto.Message{
+			Type: proto.MsgBatchFetch, Version: proto.V3, Queries: batch,
+		}, c.timeout)
+		bsp.End()
+		if err != nil {
+			continue
+		}
+		c.tFailovers.Inc()
+		return reply, rh, nil
+	}
+	return proto.Message{}, "", fmt.Errorf("no replica answered (%d tried)", len(replicas))
+}
+
+// rebind re-homes successfully failed-over series onto the replica that
+// answered, so follow-up queries go straight there instead of timing
+// out against the dead primary once per cache miss until the directory
+// catches up. The surviving replicas (minus the dead primary and the
+// new owner) stay attached for a second-hop failover.
+func (c *Client) rebind(series []string, to string, replicas []string, dead string) {
+	if len(series) == 0 {
+		return
+	}
+	var rest []string
+	for _, r := range replicas {
+		if r != to && r != dead {
+			rest = append(rest, r)
+		}
+	}
+	c.mu.Lock()
+	exp := c.rt.Now() + c.ttl
+	for _, name := range series {
+		c.series[name] = regEntry{
+			reg:     proto.Registration{Name: name, Kind: "series", Host: to, Replicas: rest},
+			expires: exp,
+		}
+	}
+	c.mu.Unlock()
 }
 
 // Forecast predicts the next value of one series (history <= 0: the
@@ -740,6 +850,8 @@ func CodedError(code, msg string) error {
 		return fmt.Errorf("%w: %s", ErrSeriesUnknown, msg)
 	case proto.CodeBackendDown:
 		return fmt.Errorf("%w: %s", ErrBackendDown, msg)
+	case proto.CodeDegraded:
+		return &DegradedError{Msg: msg}
 	default:
 		return errors.New("query: " + msg)
 	}
@@ -754,6 +866,8 @@ func ErrCode(err error) string {
 		return proto.CodeUnknownSeries
 	case errors.Is(err, ErrBackendDown):
 		return proto.CodeBackendDown
+	case errors.Is(err, ErrDegraded):
+		return proto.CodeDegraded
 	default:
 		return ""
 	}

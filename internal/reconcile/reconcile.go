@@ -26,6 +26,7 @@ import (
 	"nwsenv/internal/core"
 	"nwsenv/internal/deploy"
 	"nwsenv/internal/metrics"
+	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/platform"
 	"nwsenv/internal/simnet"
 )
@@ -209,6 +210,10 @@ func (r *Reconciler) Step(ctx context.Context) Round {
 	r.pl.Observe(core.PhaseReconcile, "drift detected (%d dead): %s",
 		len(dead), strings.TrimSpace(round.Diff.String()))
 
+	// ApplyDelta advances r.dep.Plan/Resolve in place; the pre-repair
+	// view is what the anti-entropy step below needs to know which
+	// primaries died and where their replicas lived.
+	oldPlan, oldResolve := r.dep.Plan, r.dep.Resolve
 	as := sp.Child("apply_delta")
 	delta, err := r.dep.ApplyDelta(ctx, pr.Plan, m.Resolve)
 	as.End()
@@ -217,12 +222,109 @@ func (r *Reconciler) Step(ctx context.Context) Round {
 		round.Err = fmt.Errorf("reconcile: %w", err)
 		return r.record(round)
 	}
+	bs := sp.Child("backfill")
+	adopted, backfilled := r.repairReplication(oldPlan, oldResolve, pr.Plan, m.Resolve)
+	bs.End()
+	if adopted > 0 {
+		tele.Counter("reconcile", "replica_repairs", nil).Add(int64(adopted))
+		r.pl.Observe(core.PhaseReconcile, "anti-entropy: adopted %d series, backfilled %d samples from survivors",
+			adopted, backfilled)
+	}
 	round.RepairedAt = rt.Now()
 	tele.Counter("reconcile", "repairs", nil).Inc()
 	tele.Histogram("reconcile", "repair_sec", nil).ObserveDuration(round.RepairedAt - round.Started)
 	r.pl.Observe(core.PhaseReconcile, "repaired in %v: %s",
 		round.RepairedAt-round.Started, delta)
 	return r.record(round)
+}
+
+// repairReplication re-establishes the replication factor after a
+// structural repair: for every memory primary the old plan ran that the
+// new plan no longer does (machine dead or demoted), the memory server
+// now covering its hosts is told to adopt the dead primary's series,
+// backfilling the retained windows from a surviving replica
+// (anti-entropy) and re-fanning them out to its own fresh replica set.
+// No sensor repopulation is involved: the survivor's copy alone
+// restores the retained window. Returns series adopted and samples
+// backfilled across all repairs.
+func (r *Reconciler) repairReplication(oldPlan *deploy.Plan, oldResolve map[string]string, newPlan *deploy.Plan, newResolve map[string]string) (adopted int, backfilled int64) {
+	if oldPlan.ReplicationFactor == 0 || len(oldPlan.Replicas) == 0 {
+		return 0, 0
+	}
+	master := r.dep.Agents[newPlan.Master]
+	if master == nil {
+		return 0, 0
+	}
+	newHosts := map[string]bool{}
+	for _, h := range newPlan.Hosts {
+		newHosts[h] = true
+	}
+	newMems := map[string]bool{}
+	for _, m := range newPlan.MemoryServers {
+		newMems[m] = true
+	}
+	for _, dead := range oldPlan.MemoryServers {
+		if newHosts[dead] && newMems[dead] {
+			// Still a primary: an in-place rebuild kept its image, a
+			// survivor never crashed.
+			continue
+		}
+		deadNode := oldResolve[dead]
+		if deadNode == "" {
+			continue
+		}
+		// The adopter is the new-plan memory server now covering the most
+		// hosts the dead primary used to serve (ties: lexicographic).
+		votes := map[string]int{}
+		for h, m := range oldPlan.MemoryOf {
+			if m != dead {
+				continue
+			}
+			if nm, ok := newPlan.MemoryOf[h]; ok {
+				votes[nm]++
+			}
+		}
+		adopter := ""
+		for nm, n := range votes {
+			if adopter == "" || n > votes[adopter] || (n == votes[adopter] && nm < adopter) {
+				adopter = nm
+			}
+		}
+		if adopter == "" {
+			continue // nobody inherited its hosts
+		}
+		// The survivor holding the dead primary's windows: the adopter
+		// itself when it was in the replica set (local gather, no extra
+		// hop), else the first replica still alive.
+		survivor := ""
+		for _, rep := range oldPlan.Replicas[dead] {
+			if rep == adopter {
+				survivor = rep
+				break
+			}
+			if survivor == "" && newHosts[rep] {
+				survivor = rep
+			}
+		}
+		if survivor == "" {
+			continue // no surviving copy: the window is gone
+		}
+		adopterNode, survivorNode := newResolve[adopter], newResolve[survivor]
+		if adopterNode == "" || survivorNode == "" {
+			continue
+		}
+		reply, err := master.Station().Call(adopterNode, proto.Message{
+			Type: proto.MsgReplRepair, Version: proto.V3,
+			Reg: proto.Registration{Name: deadNode, Host: survivorNode},
+		}, time.Minute)
+		if err != nil {
+			r.pl.Observe(core.PhaseReconcile, "anti-entropy: adopter %s: %v", adopter, err)
+			continue
+		}
+		adopted += reply.Count
+		backfilled += reply.Total
+	}
+	return adopted, backfilled
 }
 
 func (r *Reconciler) record(round Round) Round {

@@ -38,6 +38,9 @@ type Summary struct {
 	// MaxForecastGapTicks is the longest post-warmup sample gap with no
 	// forecast answered.
 	MaxForecastGapTicks int `json:"max_forecast_gap_ticks"`
+	// MaxAnswerDeficitTicks is the longest post-warmup sample run with
+	// at least one probed forecast unanswered (replication gate input).
+	MaxAnswerDeficitTicks int `json:"max_answer_deficit_ticks"`
 	// FinalAnswered/FinalProbed are the steady-state sample's counts.
 	FinalAnswered int  `json:"final_answered"`
 	FinalProbed   int  `json:"final_probed"`
@@ -74,23 +77,24 @@ type Provenance struct {
 // scenario's SLO gates.
 func Summarize(res *Result) Summary {
 	s := Summary{
-		Scenario:            res.Spec.Name,
-		Seed:                res.Seed,
-		Phases:              res.Spec.Phases,
-		VirtualSec:          res.VirtualSec,
-		Injected:            res.Injected,
-		Unrepaired:          res.Recovery.Unrepaired,
-		Rounds:              res.Rounds,
-		Repairs:             res.Repairs,
-		TransientErrors:     res.Transient,
-		RecoveryP95Sec:      res.Recovery.P95TimeToRepair.Seconds(),
-		MaxRedeployFraction: res.Recovery.MaxRedeployFraction,
-		MaxForecastGapTicks: res.MaxForecastGapTicks,
-		FinalAnswered:       res.FinalAnswered,
-		FinalProbed:         res.FinalProbed,
-		Converged:           res.Converged,
-		Complete:            res.Complete,
-		Metrics:             res.Metrics,
+		Scenario:              res.Spec.Name,
+		Seed:                  res.Seed,
+		Phases:                res.Spec.Phases,
+		VirtualSec:            res.VirtualSec,
+		Injected:              res.Injected,
+		Unrepaired:            res.Recovery.Unrepaired,
+		Rounds:                res.Rounds,
+		Repairs:               res.Repairs,
+		TransientErrors:       res.Transient,
+		RecoveryP95Sec:        res.Recovery.P95TimeToRepair.Seconds(),
+		MaxRedeployFraction:   res.Recovery.MaxRedeployFraction,
+		MaxForecastGapTicks:   res.MaxForecastGapTicks,
+		MaxAnswerDeficitTicks: res.MaxAnswerDeficitTicks,
+		FinalAnswered:         res.FinalAnswered,
+		FinalProbed:           res.FinalProbed,
+		Converged:             res.Converged,
+		Complete:              res.Complete,
+		Metrics:               res.Metrics,
 	}
 	s.Gates, s.Pass = EvaluateGates(res.Spec.SLO, &s)
 	return s

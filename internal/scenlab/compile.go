@@ -24,6 +24,7 @@ func (t TopologySpec) Build(seed int64) (*simnet.Topology, []core.MapRun, error)
 			HostsPerSwitch:  g.HostsPerSwitch,
 			HubFraction:     g.HubFraction,
 			VLANsPerSite:    g.VLANsPerSite,
+			SiteDomains:     g.SiteDomains,
 			Seed:            seed,
 		})
 		return tp, singleRun(tp), nil
@@ -66,8 +67,25 @@ func singleRun(tp *simnet.Topology) []core.MapRun {
 // never a victim — dead-master reconciliation is exercised by the test
 // suite; scenarios keep the narrator alive.
 func PlanVictims(plan *deploy.Plan, resolve map[string]string, tp *simnet.Topology) (victims []string, links [][2]string) {
-	for _, h := range plan.Hosts {
-		if h == plan.Master {
+	return victimPool(plan.Hosts, plan.Master, resolve, tp)
+}
+
+// PlanVictimsFor derives the victim pool a fault spec asks for:
+// target "memory" restricts the candidates to the plan's non-master
+// memory primaries, so every injection provably hits series storage
+// (the replication scenarios' k=0 vs k=1 comparison needs faults that
+// cannot dodge the memory plane); the default pool is every
+// non-master plan host.
+func PlanVictimsFor(f FaultSpec, plan *deploy.Plan, resolve map[string]string, tp *simnet.Topology) (victims []string, links [][2]string) {
+	if f.Target == "memory" {
+		return victimPool(plan.MemoryServers, plan.Master, resolve, tp)
+	}
+	return PlanVictims(plan, resolve, tp)
+}
+
+func victimPool(hosts []string, master string, resolve map[string]string, tp *simnet.Topology) (victims []string, links [][2]string) {
+	for _, h := range hosts {
+		if h == master {
 			continue
 		}
 		if id, ok := resolve[h]; ok {

@@ -41,6 +41,12 @@ func EvaluateGates(slo SLOSpec, s *Summary) ([]GateResult, bool) {
 			fmt.Sprintf("%d", s.MaxForecastGapTicks),
 			s.MaxForecastGapTicks <= *slo.MaxForecastGapTicks)
 	}
+	if slo.MaxAnswerDeficitTicks != nil {
+		add("max_answer_deficit_ticks",
+			fmt.Sprintf("<= %d", *slo.MaxAnswerDeficitTicks),
+			fmt.Sprintf("%d", s.MaxAnswerDeficitTicks),
+			s.MaxAnswerDeficitTicks <= *slo.MaxAnswerDeficitTicks)
+	}
 	if slo.RepairRedeployFractionMax != nil {
 		add("repair_redeploy_fraction_max",
 			fmt.Sprintf("<= %g", *slo.RepairRedeployFractionMax),

@@ -3,6 +3,7 @@ package scenlab
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"nwsenv/internal/core"
@@ -54,6 +55,9 @@ type Result struct {
 	// MaxForecastGapTicks is the longest post-warmup run of samples
 	// with no forecast answered.
 	MaxForecastGapTicks int
+	// MaxAnswerDeficitTicks is the longest post-warmup run of samples
+	// with at least one probed forecast unanswered.
+	MaxAnswerDeficitTicks int
 	// FinalAnswered/FinalProbed are the steady-state sample's counts.
 	FinalAnswered, FinalProbed int
 	// Converged: the last round saw no drift and no error. Complete:
@@ -94,8 +98,12 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	// proto/bytes_out, proto/bytes_in) land in the same registry, so
 	// scenario SLOs can gate on the negotiated wire version.
 	tr.SetTelemetry(reg)
-	pl := core.NewPipeline(plat, core.WithAutoAliases(), core.WithTokenGap(time.Second),
-		core.WithTelemetry(reg))
+	opts := []core.Option{core.WithAutoAliases(), core.WithTokenGap(time.Second),
+		core.WithTelemetry(reg)}
+	if spec.Replication > 0 {
+		opts = append(opts, core.WithReplication(spec.Replication))
+	}
+	pl := core.NewPipeline(plat, opts...)
 
 	// Deploy, driving virtual time in bounded steps (agents generate
 	// events forever once running, so one long RunUntil would never
@@ -120,7 +128,7 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	}
 
 	base := sim.Now()
-	victims, links := PlanVictims(out.Plan, out.Resolve, tp)
+	victims, links := PlanVictimsFor(spec.Fault, out.Plan, out.Resolve, tp)
 	scen, err := spec.Fault.Compile(seed, base+spec.Phases.Warmup(), victims, links)
 	if err != nil {
 		return nil, fmt.Errorf("scenlab: %s: %w", spec.Name, err)
@@ -157,10 +165,7 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 		if master == nil {
 			return 0, 0, nil
 		}
-		pairs := dep.Plan.MeasuredPairs()
-		if len(pairs) > 4 {
-			pairs = pairs[:4]
-		}
+		pairs := probePairs(dep.Plan)
 		var reqs []proto.SeriesRequest
 		for _, p := range pairs {
 			reqs = append(reqs, proto.SeriesRequest{
@@ -274,6 +279,7 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 		res.VirtualSec = last.TSec
 	}
 	res.MaxForecastGapTicks = maxForecastGap(res.Samples)
+	res.MaxAnswerDeficitTicks = maxAnswerDeficit(res.Samples)
 	dep.Stop()
 	// Final flatten happens after teardown so the gated metrics match the
 	// metrics.jsonl artifact rendered from the same registry.
@@ -290,6 +296,44 @@ func (s *Spec) phaseAt(off time.Duration) string {
 		return "inject"
 	default:
 		return "recovery"
+	}
+}
+
+// probePairs picks up to four measured pairs spread across the plan's
+// memory servers (round-robin over servers in name order, pairs in
+// MeasuredPairs order within each server). Probing every memory
+// server keeps a single dead primary visible as an answer deficit
+// instead of hiding behind pairs homed elsewhere.
+func probePairs(plan *deploy.Plan) [][2]string {
+	pairs := plan.MeasuredPairs()
+	if len(pairs) <= 4 {
+		return pairs
+	}
+	byMem := map[string][][2]string{}
+	var mems []string
+	for _, p := range pairs {
+		m := plan.MemoryOf[p[0]]
+		if len(byMem[m]) == 0 {
+			mems = append(mems, m)
+		}
+		byMem[m] = append(byMem[m], p)
+	}
+	sort.Strings(mems)
+	var out [][2]string
+	for i := 0; ; i++ {
+		took := false
+		for _, m := range mems {
+			if i < len(byMem[m]) {
+				out = append(out, byMem[m][i])
+				took = true
+				if len(out) == 4 {
+					return out
+				}
+			}
+		}
+		if !took {
+			return out
+		}
 	}
 }
 
@@ -310,6 +354,32 @@ func maxForecastGap(samples []Sample) int {
 			}
 		} else {
 			gap = 0
+		}
+	}
+	return worst
+}
+
+// maxAnswerDeficit is the longest run of consecutive post-warmup
+// samples during which at least one probed forecast went unanswered:
+// the replication-sensitive sibling of maxForecastGap. A dead memory
+// primary rarely silences every probe — the other servers keep
+// answering — but it leaves its own series dark until the control
+// plane repairs the placement and sensors repopulate the history;
+// with replicas, failover answers from a survivor and the deficit
+// stays near zero.
+func maxAnswerDeficit(samples []Sample) int {
+	deficit, worst := 0, 0
+	for _, s := range samples {
+		if s.Phase == "warmup" {
+			continue
+		}
+		if s.Probed > 0 && s.Answered < s.Probed {
+			deficit++
+			if deficit > worst {
+				worst = deficit
+			}
+		} else {
+			deficit = 0
 		}
 	}
 	return worst

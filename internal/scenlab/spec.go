@@ -40,6 +40,11 @@ type Spec struct {
 	Seed int64 `json:"seed"`
 	// Topology declares the platform the scenario runs on.
 	Topology TopologySpec `json:"topology"`
+	// Replication is the memory-replication factor k handed to the
+	// pipeline: every memory server's series get k replicas on
+	// distinct switches (0 = off). The replication scenarios score
+	// k=0/1/2 on one file via the scenlab run -replicas override.
+	Replication int `json:"replication,omitempty"`
 	// Phases split the run into warmup → inject → recovery.
 	Phases Phases `json:"phases"`
 	// ReconcileEverySec paces the reconcile control loop (default 120).
@@ -74,6 +79,11 @@ type GridSpec struct {
 	HostsPerSwitch  int     `json:"hosts_per_switch"`
 	HubFraction     float64 `json:"hub_fraction,omitempty"`
 	VLANsPerSite    int     `json:"vlans_per_site,omitempty"`
+	// SiteDomains gives every site its own registrable DNS domain, so
+	// the plan places one memory server per site instead of one on the
+	// master — the shape the replication scenarios need killable
+	// memory primaries from.
+	SiteDomains bool `json:"site_domains,omitempty"`
 }
 
 // LANSpec parameterizes a seeded random LAN.
@@ -124,6 +134,10 @@ var faultKinds = []FaultKind{
 type FaultSpec struct {
 	// Kind selects the workload.
 	Kind FaultKind `json:"kind"`
+	// Target restricts the victim pool: "" (default) draws from every
+	// non-master plan host, "memory" from the non-master memory
+	// primaries — the hosts whose death exercises replica failover.
+	Target string `json:"target,omitempty"`
 	// StartSec offsets the first injection from the inject phase start
 	// (default 0).
 	StartSec int64 `json:"start_sec,omitempty"`
@@ -158,6 +172,12 @@ type SLOSpec struct {
 	// MaxForecastGapTicks bounds the longest run of post-warmup sample
 	// ticks during which no probed forecast answered.
 	MaxForecastGapTicks *int `json:"max_forecast_gap_ticks,omitempty"`
+	// MaxAnswerDeficitTicks bounds the longest run of post-warmup
+	// sample ticks during which at least one probed forecast went
+	// unanswered — the replication gate: a dead primary with no
+	// replica leaves its series' probes dark until repair plus sensor
+	// repopulation, while replica failover keeps the deficit near zero.
+	MaxAnswerDeficitTicks *int `json:"max_answer_deficit_ticks,omitempty"`
 	// RepairRedeployFractionMax bounds the worst single-repair share of
 	// redeployed components (1 = a full teardown).
 	RepairRedeployFractionMax *float64 `json:"repair_redeploy_fraction_max,omitempty"`
@@ -237,6 +257,9 @@ func (s *Spec) Validate() error {
 	if s.ReconcileEverySec < 0 || s.SampleEverySec < 0 {
 		return fmt.Errorf("scenlab: %s: pacing intervals must not be negative", s.Name)
 	}
+	if s.Replication < 0 {
+		return fmt.Errorf("scenlab: %s: replication must not be negative", s.Name)
+	}
 	for i, m := range s.SLO.Metrics {
 		if m.Metric == "" {
 			return fmt.Errorf("scenlab: %s: slo metrics[%d] has no metric name", s.Name, i)
@@ -254,6 +277,9 @@ func (s *Spec) Validate() error {
 func (f FaultSpec) validate(scenario string) error {
 	if f.StartSec < 0 || f.HealAfterSec < 0 || f.SpacingSec < 0 {
 		return fmt.Errorf("scenlab: %s: fault offsets must not be negative", scenario)
+	}
+	if f.Target != "" && f.Target != "memory" {
+		return fmt.Errorf("scenlab: %s: unknown fault target %q (known: \"memory\")", scenario, f.Target)
 	}
 	switch f.Kind {
 	case FaultNone, FaultCrash, FaultPartition:

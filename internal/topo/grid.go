@@ -34,6 +34,12 @@ type GridConfig struct {
 	// many VLANs (globally unique ids), exercising inter-VLAN routing
 	// through the site router. Default 1: a single untagged VLAN.
 	VLANsPerSite int
+	// SiteDomains gives every site its own registrable domain
+	// ("site<i>.grid"), so ENV's site detection lands each site's
+	// hosts in a distinct GridML site and the plan places one memory
+	// server per site. Default false: every host shares "grid.net" —
+	// one site, the whole memory plane on the master.
+	SiteDomains bool
 	// Seed drives the deterministic jitter and hub placement.
 	Seed int64
 }
@@ -99,6 +105,14 @@ func SyntheticGrid(cfg GridConfig) (*simnet.Topology, map[string]NetworkTruth) {
 	for s := 0; s < c.Sites; s++ {
 		siteID := fmt.Sprintf("site%d", s)
 		domain := fmt.Sprintf("site%d.grid.net", s)
+		hostSuffix := ".grid.net"
+		if c.SiteDomains {
+			// The registrable suffix (last two DNS labels) is what ENV's
+			// site detection keys on, so the per-site domain must BE the
+			// suffix: h0-0-1.site0.grid lands in site0.grid.
+			domain = fmt.Sprintf("site%d.grid", s)
+			hostSuffix = "." + domain
+		}
 		t.AddRouter(siteID, fmt.Sprintf("10.%d.255.254", s), siteID+".grid.net")
 		jitter := 0.5 + rng.Float64()
 		wanLat := time.Duration(float64(c.WANLatency) * jitter)
@@ -120,7 +134,7 @@ func SyntheticGrid(cfg GridConfig) (*simnet.Topology, map[string]NetworkTruth) {
 				if c.VLANsPerSite > 1 {
 					opts = append(opts, simnet.WithVLAN(s*c.VLANsPerSite+k%c.VLANsPerSite+1))
 				}
-				t.AddHost(id, fmt.Sprintf("10.%d.%d.%d", s, w, k+1), id+".grid.net", domain, opts...)
+				t.AddHost(id, fmt.Sprintf("10.%d.%d.%d", s, w, k+1), id+hostSuffix, domain, opts...)
 				t.Connect(id, segID, simnet.LinkBW(c.LANMbps*simnet.Mbps))
 				hosts = append(hosts, id)
 			}
