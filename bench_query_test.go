@@ -46,6 +46,7 @@ const querySweep = 100
 // forecaster on h0-0-2, and a client station on h0-0-3.
 type queryStack struct {
 	sim    *vclock.Sim
+	tr     *proto.SimTransport
 	client *proto.Station
 	nsHost string
 	series []string // the querySweep series, site-round-robin
@@ -69,7 +70,7 @@ func newQueryStack(b *testing.B, hosts int, samplesPerSeries int) *queryStack {
 		return proto.NewStation(rt, ep)
 	}
 
-	st := &queryStack{sim: sim, nsHost: "h0-0-0"}
+	st := &queryStack{sim: sim, tr: tr, nsHost: "h0-0-0"}
 	sim.Go("ns", nameserver.New(open(st.nsHost)).Run)
 	memOf := map[int]string{} // site -> memory host
 	for s := 0; s < cfg.Sites; s++ {

@@ -13,13 +13,22 @@
 //
 //	benchjson -compare old.json new.json -threshold 0.25
 //
-// With -ratio-min it asserts a same-run ns/op ratio between two
-// benchmarks of one artifact — machine-independent, the CI gate for
-// "incremental engine ≥ N× faster than the naive reference":
+// With -ratio-min it asserts a same-run ratio between two benchmarks
+// of one artifact — machine-independent, the CI gate for "incremental
+// engine ≥ N× faster than the naive reference":
 //
 //	benchjson -ratio-num 'BenchmarkScaleGridTransfersNaive/hosts=1000' \
 //	          -ratio-den 'BenchmarkScaleGridTransfers/hosts=1000' \
 //	          -ratio-min 10 BENCH_scale.json
+//
+// The ratio defaults to ns/op; -ratio-metric gates on any custom
+// b.ReportMetric unit instead — required when the benchmark's story
+// lives in virtual time (a vclock simulation's wall-clock ns/op barely
+// moves while its virtual-time throughput scales):
+//
+//	benchjson -ratio-num 'BenchmarkGatewayScale/gw=3' \
+//	          -ratio-den 'BenchmarkGatewayScale/gw=1' \
+//	          -ratio-metric 'queries/s' -ratio-min 2 BENCH_gateway.json
 //
 // With -assert-max it asserts absolute per-benchmark metric ceilings
 // on one artifact. Machine-independent for deterministic metrics like
@@ -71,7 +80,8 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "allowed ns/op regression fraction in -compare mode")
 	ratioNum := flag.String("ratio-num", "", "numerator benchmark name for the -ratio-min assertion on one artifact")
 	ratioDen := flag.String("ratio-den", "", "denominator benchmark name for the -ratio-min assertion")
-	ratioMin := flag.Float64("ratio-min", 0, "minimum ns/op ratio num/den; non-zero enables the assertion")
+	ratioMin := flag.Float64("ratio-min", 0, "minimum ratio num/den; non-zero enables the assertion")
+	ratioMetric := flag.String("ratio-metric", "ns/op", "metric key the -ratio-min assertion compares")
 	assertMax := flag.String("assert-max", "", "comma-separated absolute ceilings 'bench:metric<=value' asserted on one artifact")
 	flag.Parse()
 	args := flag.Args()
@@ -83,12 +93,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -ratio-min needs -ratio-num, -ratio-den and one artifact file")
 			os.Exit(2)
 		}
-		ratio, err := artifactRatio(args[0], *ratioNum, *ratioDen)
+		ratio, err := artifactRatio(args[0], *ratioNum, *ratioDen, *ratioMetric)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchjson: %s / %s = %.1fx (minimum %.1fx)\n", *ratioNum, *ratioDen, ratio, *ratioMin)
+		fmt.Printf("benchjson: %s / %s = %.1fx on %s (minimum %.1fx)\n", *ratioNum, *ratioDen, ratio, *ratioMetric, *ratioMin)
 		if ratio < *ratioMin {
 			fmt.Fprintf(os.Stderr, "benchjson: ratio %.2f below required %.2f\n", ratio, *ratioMin)
 			os.Exit(1)
@@ -243,7 +253,7 @@ func scrubCompareArgs(args []string, threshold *float64) ([]string, error) {
 	return files, nil
 }
 
-// artifactRatio returns ns/op(num) / ns/op(den) from one artifact.
+// artifactRatio returns metric(num) / metric(den) from one artifact.
 // assertCeilings parses 'bench:metric<=value' clauses and checks each
 // against the artifact, reporting every measured value as it goes.
 func assertCeilings(path, spec string) error {
@@ -281,7 +291,7 @@ func assertCeilings(path, spec string) error {
 	return nil
 }
 
-func artifactRatio(path, num, den string) (float64, error) {
+func artifactRatio(path, num, den, metric string) (float64, error) {
 	art, err := readArtifact(path)
 	if err != nil {
 		return 0, err
@@ -292,11 +302,11 @@ func artifactRatio(path, num, den string) (float64, error) {
 		if !ok {
 			return 0, fmt.Errorf("%s: benchmark %q not in artifact", path, name)
 		}
-		ns, ok := e.Metrics["ns/op"]
-		if !ok || ns <= 0 {
-			return 0, fmt.Errorf("%s: benchmark %q has no positive ns/op", path, name)
+		v, ok := e.Metrics[metric]
+		if !ok || v <= 0 {
+			return 0, fmt.Errorf("%s: benchmark %q has no positive %s", path, name, metric)
 		}
-		vals[i] = ns
+		vals[i] = v
 	}
 	return vals[0] / vals[1], nil
 }

@@ -142,15 +142,35 @@ func TestArtifactRatio(t *testing.T) {
 		"BenchmarkNaive": {Metrics: map[string]float64{"ns/op": 5000}},
 		"BenchmarkFast":  {Metrics: map[string]float64{"ns/op": 100}},
 	})
-	ratio, err := artifactRatio(path, "BenchmarkNaive", "BenchmarkFast")
+	ratio, err := artifactRatio(path, "BenchmarkNaive", "BenchmarkFast", "ns/op")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ratio != 50 {
 		t.Fatalf("ratio %v want 50", ratio)
 	}
-	if _, err := artifactRatio(path, "BenchmarkMissing", "BenchmarkFast"); err == nil {
+	if _, err := artifactRatio(path, "BenchmarkMissing", "BenchmarkFast", "ns/op"); err == nil {
 		t.Fatal("missing benchmark should error")
+	}
+}
+
+func TestArtifactRatioCustomMetric(t *testing.T) {
+	dir := t.TempDir()
+	path := writeArtifact(t, dir, "art.json", map[string]Entry{
+		// The vclock-simulation shape: wall-clock ns/op flat across the
+		// sweep, the scaling story in a virtual-time custom metric.
+		"BenchmarkScale/n=3": {Metrics: map[string]float64{"ns/op": 1000, "queries/s": 9000}},
+		"BenchmarkScale/n=1": {Metrics: map[string]float64{"ns/op": 1000, "queries/s": 3000}},
+	})
+	ratio, err := artifactRatio(path, "BenchmarkScale/n=3", "BenchmarkScale/n=1", "queries/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 3 {
+		t.Fatalf("ratio %v want 3", ratio)
+	}
+	if _, err := artifactRatio(path, "BenchmarkScale/n=3", "BenchmarkScale/n=1", "p99-ms"); err == nil {
+		t.Fatal("absent metric should error")
 	}
 }
 

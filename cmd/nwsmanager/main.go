@@ -67,6 +67,7 @@ func main() {
 	query := flag.String("query", "", "host pair to estimate afterwards: from,to")
 	pairwise := flag.Bool("pairwise", false, "drive switched cliques with the pairwise scheduler (§6 relaxation)")
 	replicas := flag.Int("replicas", 0, "replication factor k: every memory server's series get k replicas on distinct switches (0 = off)")
+	gateways := flag.Int("gateways", 0, "query-gateway replica count N: primary on the master plus N-1 replicas on distinct switches (0/1 = single gateway)")
 	watch := flag.Bool("watch", false, "run the self-healing reconcile loop over the deployment")
 	scenario := flag.String("scenario", "none", "with -watch on a topo: fault scenario — a name resolved in -scenarios (crash, partition, ...), a .json path, or none")
 	scenarioDir := flag.String("scenarios", "scenarios", "directory of declarative scenario files -scenario names resolve in")
@@ -113,7 +114,7 @@ func main() {
 	}
 
 	if *tcp {
-		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, *replicas, *teleDir, observer)
+		runTCP(ctx, strings.Split(*hostsCSV, ","), *duration, *query, *watch, *interval, *replicas, *gateways, *teleDir, observer)
 		return
 	}
 	if *topoFile == "" {
@@ -121,11 +122,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *watch {
-		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, *replicas, *teleDir, observer)
+		runWatchSim(ctx, *topoFile, *duration, *interval, *scenario, *scenarioDir, *seed, *pairwise, *replicas, *gateways, *teleDir, observer)
 		return
 	}
 	if *auto {
-		runAuto(*topoFile, *duration, *query, *pairwise, *replicas, *teleDir, observer)
+		runAuto(*topoFile, *duration, *query, *pairwise, *replicas, *gateways, *teleDir, observer)
 		return
 	}
 	if *planFile == "" {
@@ -151,7 +152,7 @@ func wireCodecTelemetry(p platform.Platform, reg *telemetry.Registry) {
 // runAuto drives the whole pipeline on the simulated platform: one
 // command instead of the topogen→envmap→nwsdeploy→nwsmanager file
 // relay.
-func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, replicas int, teleDir string, observer core.Option) {
+func runAuto(topoFile string, duration time.Duration, query string, pairwise bool, replicas, gateways int, teleDir string, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
@@ -165,6 +166,9 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 	}
 	if replicas > 0 {
 		opts = append(opts, core.WithReplication(replicas))
+	}
+	if gateways > 1 {
+		opts = append(opts, core.WithGateways(gateways))
 	}
 	pl := core.NewPipeline(se.Plat, opts...)
 
@@ -201,7 +205,7 @@ func runAuto(topoFile string, duration time.Duration, query string, pairwise boo
 // out: §4.3's platform evolution end to end. It exits non-zero when the
 // loop has not converged on a valid deployment by the end (unless it
 // was interrupted).
-func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, replicas int, teleDir string, observer core.Option) {
+func runWatchSim(ctx context.Context, topoFile string, duration, interval time.Duration, scenario, scenarioDir string, seed int64, pairwise bool, replicas, gateways int, teleDir string, observer core.Option) {
 	se, err := cli.LoadSim(topoFile)
 	check(err)
 	sim, net := se.Sim, se.Net
@@ -215,6 +219,9 @@ func runWatchSim(ctx context.Context, topoFile string, duration, interval time.D
 	}
 	if replicas > 0 {
 		opts = append(opts, core.WithReplication(replicas))
+	}
+	if gateways > 1 {
+		opts = append(opts, core.WithGateways(gateways))
 	}
 	pl := core.NewPipeline(se.Plat, opts...)
 
@@ -352,7 +359,7 @@ func buildScenario(name, dir string, seed int64, base time.Duration, tp *simnet.
 // same code path as the simulator, on the wall clock. With watch, the
 // reconcile loop maintains the deployment until the duration elapses or
 // the context is canceled (SIGINT).
-func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, replicas int, teleDir string, observer core.Option) {
+func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPair string, watch bool, interval time.Duration, replicas, gateways int, teleDir string, observer core.Option) {
 	seen := map[string]bool{}
 	for i, h := range hosts {
 		h = strings.TrimSpace(h)
@@ -385,6 +392,9 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPa
 	}
 	if replicas > 0 {
 		tcpOpts = append(tcpOpts, core.WithReplication(replicas))
+	}
+	if gateways > 1 {
+		tcpOpts = append(tcpOpts, core.WithGateways(gateways))
 	}
 	pl := core.NewPipeline(plat, tcpOpts...)
 
@@ -467,9 +477,9 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPa
 	var res []query.Result
 	var gwc *gateway.Client
 	var gwName string
-	if gwReg, err := gateway.Discover(client, nsHost); err == nil {
-		gwc = gateway.NewClient(client, gwReg.Host)
-		gwName = gwReg.Name
+	if c, err := gateway.Connect(client, nsHost); err == nil {
+		gwc = c
+		gwName = fmt.Sprintf("%d gateway replica(s), primary %s", len(c.Hosts()), c.Host)
 		if r, err := gwc.FetchMany(reqs); err == nil {
 			res = r
 		}
@@ -494,7 +504,7 @@ func runTCP(ctx context.Context, hosts []string, duration time.Duration, queryPa
 		// paying a second LookupKind + liveness probe.
 		var es *deploy.Estimator
 		if gwc != nil {
-			fmt.Printf("query gateway: %s (host %s)\n", gwName, gwc.Host)
+			fmt.Printf("query gateway: %s\n", gwName)
 			es = deploy.NewEstimator(dep.Plan, dep.PairDataVia(gwc.FetchMany))
 		} else {
 			fmt.Println("query gateway: none registered, querying backends directly")
@@ -611,9 +621,9 @@ func reportSim(net *simnet.Network, duration time.Duration) {
 // back to the direct query-plane client.
 func gatewayEstimator(st proto.Port, dep *deploy.Deployment) *deploy.Estimator {
 	nsHost := dep.Resolve[dep.Plan.NameServer]
-	if reg, err := gateway.Discover(st, nsHost); err == nil {
-		fmt.Printf("query gateway: %s (host %s)\n", reg.Name, reg.Host)
-		return deploy.NewEstimator(dep.Plan, dep.PairDataVia(gateway.NewClient(st, reg.Host).FetchMany))
+	if c, err := gateway.Connect(st, nsHost); err == nil {
+		fmt.Printf("query gateway: %d live replica(s), primary %s\n", len(c.Hosts()), c.Host)
+		return deploy.NewEstimator(dep.Plan, dep.PairDataVia(c.FetchMany))
 	}
 	fmt.Println("query gateway: none registered, querying backends directly")
 	return dep.Estimator(st)

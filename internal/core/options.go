@@ -68,6 +68,7 @@ type config struct {
 	tokenGap         time.Duration
 	hostSensorPeriod time.Duration
 	replication      int
+	gateways         int
 	pairwiseSwitched bool
 	planOnly         bool
 	autoAliases      bool
@@ -123,6 +124,20 @@ func WithReplication(k int) Option {
 	return func(c *config) {
 		if k > 0 {
 			c.replication = k
+		}
+	}
+}
+
+// WithGateways scales the query edge horizontally: n query-gateway
+// replicas in total — the primary on the master plus n-1 extras placed
+// on distinct switches by the memory-replica placement machinery.
+// Clients discovered through gateway.Connect balance across the set
+// and fail over on death or typed overload. n <= 1 (the default) keeps
+// the single master-hosted gateway.
+func WithGateways(n int) Option {
+	return func(c *config) {
+		if n > 1 {
+			c.gateways = n
 		}
 	}
 }

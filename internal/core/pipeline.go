@@ -185,6 +185,7 @@ func (p *Pipeline) Plan(m *Mapping) (*PlanResult, error) {
 	}
 	plan, err := deploy.NewPlan(m.Merged, deploy.PlanConfig{
 		Master: master, TokenGap: p.cfg.tokenGap, ReplicationFactor: p.cfg.replication,
+		GatewayReplicas: p.cfg.gateways,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,134 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlanGatewayReplicaPlacement: GatewayReplicas=N plans N gateway
+// hosts — the primary on the master, the extras solved by the same
+// foreign-switch placement memory replicas use, so no extra shares a
+// network with the master while the topology allows it.
+func TestPlanGatewayReplicaPlacement(t *testing.T) {
+	_, _, merged, resolve := mapEnsLyon(t)
+	master := "the-doors.ens-lyon.fr"
+	p, err := NewPlan(merged, PlanConfig{Master: master, GatewayReplicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gws := p.GatewaySet()
+	if len(gws) != 3 {
+		t.Fatalf("GatewaySet() = %v, want 3 replicas", gws)
+	}
+	if gws[0] != master {
+		t.Fatalf("primary gateway %q, want the master %q", gws[0], master)
+	}
+	if p.Gateway != master {
+		t.Fatalf("legacy Gateway = %q, want the primary %q", p.Gateway, master)
+	}
+	seen := map[string]bool{}
+	for _, g := range gws {
+		if seen[g] {
+			t.Fatalf("duplicate gateway host %q in %v", g, gws)
+		}
+		seen[g] = true
+		if !contains(p.Hosts, g) {
+			t.Fatalf("gateway %q is not a planned host", g)
+		}
+	}
+
+	// Foreign-switch placement: the ENV networks are the switch groups,
+	// and EnsLyon has enough of them that no extra replica needs to share
+	// one with the master.
+	canon := func(name string) string {
+		if mm := merged.Doc.FindMachine(name); mm != nil {
+			return mm.CanonicalName()
+		}
+		return name
+	}
+	masterNets := map[string]bool{}
+	for _, nw := range merged.Networks {
+		for _, h := range nw.Hosts {
+			if canon(h) == master {
+				masterNets[nw.Label] = true
+			}
+		}
+	}
+	for _, g := range gws[1:] {
+		for _, nw := range merged.Networks {
+			if !masterNets[nw.Label] {
+				continue
+			}
+			for _, h := range nw.Hosts {
+				if canon(h) == g {
+					t.Errorf("replica %q shares network %q with the master", g, nw.Label)
+				}
+			}
+		}
+	}
+
+	// Every replica host gets the Gateway role — and only the replicas.
+	roles, err := planRoles(p, resolve, ApplyOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range roles {
+		if want := contains(gws, name); r.Gateway != want {
+			t.Errorf("host %s: Gateway role %v, want %v", name, r.Gateway, want)
+		}
+	}
+
+	// The replica set survives the config round-trip, and a plan encoded
+	// before horizontal scaling (singleton Gateway only) still decodes to
+	// a usable singleton set.
+	data, err := EncodeConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.GatewaySet(); strings.Join(got, ",") != strings.Join(gws, ",") {
+		t.Fatalf("round-trip GatewaySet() = %v, want %v", got, gws)
+	}
+	legacy, err := DecodeConfig([]byte(`{"label":"old","master":"m","gateway":"m","hosts":["m"],"memoryOf":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy.GatewaySet(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("legacy plan GatewaySet() = %v, want [m]", got)
+	}
+}
+
+// TestDiffPlansGatewayReplicaSet: growing the replica set and losing a
+// replica both surface as a single gateways move listing the full old
+// and new sets, so ApplyDelta rebuilds exactly the affected hosts.
+func TestDiffPlansGatewayReplicaSet(t *testing.T) {
+	_, _, merged, _ := mapEnsLyon(t)
+	master := "the-doors.ens-lyon.fr"
+	single, err := NewPlan(merged, PlanConfig{Master: master})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicated, err := NewPlan(merged, PlanConfig{Master: master, GatewayReplicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := DiffPlans(single, replicated)
+	var move string
+	for _, m := range d.ServerMoves {
+		if strings.HasPrefix(m, "gateways: ") {
+			move = m
+		}
+	}
+	want := "gateways: [" + master + "] -> [" + strings.Join(replicated.GatewaySet(), ",") + "]"
+	if move != want {
+		t.Fatalf("gateway move %q, want %q", move, want)
+	}
+	if !DiffPlans(replicated, replicated).Empty() {
+		t.Fatal("identical replicated plans must diff empty")
+	}
+}

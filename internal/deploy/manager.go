@@ -205,7 +205,7 @@ func planRoles(plan *Plan, resolve map[string]string, opts ApplyOptions, epochs 
 		if name == plan.Forecaster {
 			roles.Forecaster = true
 		}
-		if name == plan.Gateway && plan.Gateway != "" {
+		if contains(plan.GatewaySet(), name) {
 			roles.Gateway = true
 		}
 		if contains(plan.MemoryServers, name) {
@@ -342,7 +342,12 @@ func (d *Deployment) ForecastData(port proto.Port) PairData {
 			{Series: sensor.LatencySeries(src, dst)},
 			{Series: sensor.BandwidthSeries(src, dst)},
 		})
-		if res[0].Err != nil || res[1].Err != nil {
+		// A degraded prediction (computed from a replica-served history)
+		// is usable, mirroring PairDataVia's stale-beats-nothing stance.
+		usable := func(r query.ForecastResult) bool {
+			return r.Err == nil || errors.Is(r.Err, query.ErrDegraded)
+		}
+		if !usable(res[0]) || !usable(res[1]) {
 			return 0, 0, false
 		}
 		return res[0].Prediction.Value, res[1].Prediction.Value, true

@@ -50,9 +50,18 @@ type Plan struct {
 	Master     string `json:"master"`
 	NameServer string `json:"nameServer"`
 	Forecaster string `json:"forecaster"`
-	// Gateway hosts the query gateway, the deployment's client-facing
-	// front door ("" in plans predating the query plane: no gateway).
+	// Gateway hosts the primary query gateway, the deployment's
+	// client-facing front door ("" in plans predating the query plane:
+	// no gateway). Kept alongside Gateways for wire/JSON compatibility;
+	// it is always Gateways[0] when the replica set is non-empty.
 	Gateway string `json:"gateway,omitempty"`
+	// Gateways lists every query-gateway replica host: the primary
+	// first, then the extra replicas sorted. Replicas are placed across
+	// distinct switches by the same machinery that places memory
+	// replicas, so clients keep a front door through a site loss. Empty
+	// in plans predating horizontal gateway scaling: the singleton
+	// Gateway stands alone.
+	Gateways []string `json:"gateways,omitempty"`
 	// MemoryServers lists hosts running memory servers.
 	MemoryServers []string `json:"memoryServers"`
 	// MemoryOf maps every monitored host to its memory server.
@@ -77,6 +86,10 @@ type PlanConfig struct {
 	// ReplicationFactor gives every memory server k replicas placed on
 	// distinct switches (0 disables replication).
 	ReplicationFactor int
+	// GatewayReplicas is the total query-gateway count N: the primary on
+	// the master plus N-1 replicas placed on distinct switches (<=1
+	// keeps the single master-hosted gateway).
+	GatewayReplicas int
 }
 
 // NewPlan derives a deployment plan from a merged ENV result.
@@ -191,13 +204,22 @@ func NewPlan(m *env.Merged, cfg PlanConfig) (*Plan, error) {
 	// the network partition so a replica never shares a switch with its
 	// primary when the topology allows it (a switch loss must not take
 	// both). The ENV networks are exactly the switch groups.
+	groups := make([][]string, 0, len(m.Networks))
+	for _, nw := range m.Networks {
+		groups = append(groups, uniqueSorted(mapNames(nw.Hosts, canon)))
+	}
 	if cfg.ReplicationFactor > 0 {
 		p.ReplicationFactor = cfg.ReplicationFactor
-		groups := make([][]string, 0, len(m.Networks))
-		for _, nw := range m.Networks {
-			groups = append(groups, uniqueSorted(mapNames(nw.Hosts, canon)))
-		}
 		p.Replicas = replica.Place(p.MemoryServers, groups, cfg.ReplicationFactor)
+	}
+
+	// Gateway replicas: the primary stays on the master; the N-1 extras
+	// are solved by the same foreign-switch placement that spreads
+	// memory replicas, so the query front door survives a site loss.
+	p.Gateways = []string{master}
+	if n := cfg.GatewayReplicas; n > 1 {
+		extra := replica.Place([]string{master}, groups, n-1)[master]
+		p.Gateways = append(p.Gateways, uniqueSorted(extra)...)
 	}
 
 	// Bridging cliques between connectivity components (§5.1: "The
@@ -281,6 +303,21 @@ func (p *Plan) cliqueRepFor(network string) string {
 		}
 	}
 	return ""
+}
+
+// GatewaySet returns the effective gateway replica hosts: Gateways
+// when the plan carries the replicated form, else the singleton legacy
+// Gateway, else nothing (plans predating the query plane). In the
+// singleton case the legacy Gateway field is authoritative, so code
+// that re-homes a lone gateway by assigning Gateway keeps working.
+func (p *Plan) GatewaySet() []string {
+	if len(p.Gateways) > 1 {
+		return p.Gateways
+	}
+	if p.Gateway != "" {
+		return []string{p.Gateway}
+	}
+	return p.Gateways
 }
 
 // MeasuredPairs returns every ordered host pair some clique directly

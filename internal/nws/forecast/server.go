@@ -162,6 +162,16 @@ func (s *Server) handleBatchForecast(req proto.Message) {
 			continue
 		}
 		results[i] = predictSeries(fr.Series, fr.Samples)
+		// A prediction computed from a degraded (replica-served, lagging)
+		// history keeps the staleness advisory: the lag watermark rides
+		// the result exactly as it does on the fetch path, so gateway
+		// clients can rehydrate query.DegradedError end to end.
+		var de *query.DegradedError
+		if results[i].Error == "" && errors.As(fr.Err, &de) {
+			results[i].Replica, results[i].Lag = true, de.Lag
+			results[i].Error = fr.Err.Error()
+			results[i].Code = proto.CodeDegraded
+		}
 	}
 	s.st.Reply(req, proto.Message{Type: proto.MsgBatchForecastReply, Version: ver, Forecasts: results})
 }

@@ -12,22 +12,45 @@ import (
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/query"
 	"nwsenv/internal/simnet"
+	"nwsenv/internal/telemetry"
 	"nwsenv/internal/vclock"
 )
 
-// rig builds a serving stack with a gateway fronting it: name server,
-// two memory servers, a forecaster, the gateway, and an end-user client
-// station.
+// rig builds a serving stack with one or more gateways fronting it:
+// name server, two memory servers, a forecaster, the gateways, and an
+// end-user client station. An unserved endpoint "hole" is opened so
+// tests can register series whose owner never answers (calls block
+// until the query-plane timeout — a controllable way to hold admission
+// tokens).
 type rig struct {
-	sim *vclock.Sim
-	tr  *proto.SimTransport
-	st  *proto.Station // end-user station on host "user"
+	sim    *vclock.Sim
+	tr     *proto.SimTransport
+	st     *proto.Station // end-user station on host "user"
+	tele   *telemetry.Registry
+	gws    []*Server // gateways, first on host "gw", then "gw2", ...
+	holeEp proto.Endpoint
 }
 
-func newRig(t *testing.T) *rig {
+// rigCfg tunes the rig: number of gateways and their admission knobs
+// (zero values keep the server defaults).
+type rigCfg struct {
+	gateways    int
+	limit, shed int
+}
+
+func newRig(t *testing.T) *rig { return newRigCfg(t, rigCfg{}) }
+
+func newRigCfg(t *testing.T, cfg rigCfg) *rig {
 	t.Helper()
+	if cfg.gateways < 1 {
+		cfg.gateways = 1
+	}
+	gwHosts := []string{"gw"}
+	for i := 2; i <= cfg.gateways; i++ {
+		gwHosts = append(gwHosts, fmt.Sprintf("gw%d", i))
+	}
 	topo := simnet.NewTopology()
-	hosts := []string{"ns", "m1", "m2", "fc", "gw", "user"}
+	hosts := append([]string{"ns", "m1", "m2", "fc", "user", "hole"}, gwHosts...)
 	for i, h := range hosts {
 		topo.AddHost(h, fmt.Sprintf("10.1.0.%d", i+1), h, "lan")
 	}
@@ -53,10 +76,43 @@ func newRig(t *testing.T) *rig {
 	}
 	stFC := open("fc")
 	sim.Go("fc", forecast.NewServer(stFC, nameserver.NewClient(stFC, "ns"), 0).Run)
-	stGW := open("gw")
-	sim.Go("gw", New(stGW, "ns").Run)
-	return &rig{sim: sim, tr: tr, st: open("user")}
+	r := &rig{sim: sim, tr: tr, tele: telemetry.New(sim.Now)}
+	for _, h := range gwHosts {
+		srv := New(open(h), "ns")
+		srv.SetAdmission(cfg.limit, cfg.shed)
+		srv.SetTelemetry(r.tele)
+		r.gws = append(r.gws, srv)
+		sim.Go(h, srv.Run)
+	}
+	// The hole: an open endpoint nothing serves. Register a series on it
+	// and any fetch through the query plane blocks for the full call
+	// timeout while holding whatever the gateway admitted it under.
+	// Tests that need a scripted peer can attach a station to it.
+	holeEp, err := tr.Open("hole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.holeEp = holeEp
+	r.st = open("user")
+	return r
 }
+
+// pause parks the calling sim process for d of virtual time.
+func (r *rig) pause(d time.Duration) {
+	r.st.Runtime().NewInbox("pause").RecvTimeout(d)
+}
+
+// digSeries registers a series owned by the unserved "hole" endpoint.
+func (r *rig) digSeries(t *testing.T, name string) {
+	t.Helper()
+	if err := nameserver.NewClient(r.st, "ns").Register(proto.Registration{
+		Name: name, Kind: "series", Host: "hole", Owner: "memory.hole",
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+func (r *rig) flat() map[string]float64 { return r.tele.Snapshot().Flatten() }
 
 func (r *rig) run(t *testing.T, fn func()) {
 	t.Helper()
@@ -215,6 +271,264 @@ func TestGatewayBackendDownSurfacesStructured(t *testing.T) {
 		}
 		if !errors.Is(res[1].Err, query.ErrBackendDown) {
 			t.Errorf("dead backend: %v", res[1].Err)
+		}
+	})
+}
+
+// TestGatewayAdmissionSaturation: with the admission limit at 2, a
+// third concurrent request queues (the counter rises exactly once —
+// the fast-path TryRecv means no phantom queue events), runs when a
+// token frees, and nothing leaks: both gauges drain to zero and a
+// fresh request is admitted immediately afterwards.
+func TestGatewayAdmissionSaturation(t *testing.T) {
+	r := newRigCfg(t, rigCfg{limit: 2})
+	r.seed(t)
+	r.run(t, func() {
+		r.digSeries(t, "slow")
+		gc := NewClient(r.st, "gw")
+		gc.Timeout = 60 * time.Second
+		done := r.st.Runtime().NewInbox("collect")
+		for i := 0; i < 3; i++ {
+			i := i
+			r.st.Runtime().Go(fmt.Sprintf("sat%d", i), func() {
+				res, err := gc.FetchMany([]proto.SeriesRequest{{Series: "slow", Count: 1}})
+				if err != nil {
+					t.Errorf("sat%d: %v", i, err)
+				} else if !errors.Is(res[0].Err, query.ErrBackendDown) {
+					t.Errorf("sat%d: want ErrBackendDown from the hole, got %v", i, res[0].Err)
+				}
+				done.Send(proto.Message{})
+			})
+			r.pause(100 * time.Millisecond) // deterministic arrival order
+		}
+		r.pause(time.Second)
+		flat := r.flat()
+		if flat["gateway/admission_queued"] != 1 {
+			t.Errorf("admission_queued = %g, want exactly 1", flat["gateway/admission_queued"])
+		}
+		if flat["gateway/queue_depth"] != 1 || flat["gateway/queue_depth:max"] != 1 {
+			t.Errorf("queue_depth = %g (max %g), want 1",
+				flat["gateway/queue_depth"], flat["gateway/queue_depth:max"])
+		}
+		if flat["gateway/inflight"] != 2 {
+			t.Errorf("inflight = %g, want the full admission limit 2", flat["gateway/inflight"])
+		}
+		// The blocked fetches release their tokens at the query-plane
+		// timeout; the waiter then runs and completes.
+		for i := 0; i < 3; i++ {
+			done.Recv()
+		}
+		flat = r.flat()
+		if flat["gateway/inflight"] != 0 || flat["gateway/queue_depth"] != 0 {
+			t.Errorf("leak: inflight %g queue_depth %g after drain",
+				flat["gateway/inflight"], flat["gateway/queue_depth"])
+		}
+		if flat["gateway/requests"] != 3 {
+			t.Errorf("requests = %g, want 3", flat["gateway/requests"])
+		}
+		if res, err := gc.FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}}); err != nil || res[0].Err != nil {
+			t.Errorf("post-drain fetch not admitted: %v %+v", err, res)
+		}
+	})
+}
+
+// TestGatewayOverloadShedsTyped: past the shed threshold the gateway
+// answers a typed CodeOverloaded with a retry-after hint instead of
+// queueing without bound, and admits traffic again once the storm
+// passes.
+func TestGatewayOverloadShedsTyped(t *testing.T) {
+	r := newRigCfg(t, rigCfg{limit: 1, shed: 1})
+	r.seed(t)
+	r.run(t, func() {
+		r.digSeries(t, "slow")
+		gc := NewClient(r.st, "gw")
+		gc.Timeout = 60 * time.Second
+		done := r.st.Runtime().NewInbox("collect")
+		for i := 0; i < 2; i++ {
+			r.st.Runtime().Go(fmt.Sprintf("hold%d", i), func() {
+				gc.FetchMany([]proto.SeriesRequest{{Series: "slow", Count: 1}})
+				done.Send(proto.Message{})
+			})
+			r.pause(100 * time.Millisecond)
+		}
+		// One request holds the token, one waits — the line is full.
+		_, err := NewClient(r.st, "gw").FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}})
+		if !errors.Is(err, query.ErrOverloaded) {
+			t.Errorf("want ErrOverloaded, got %v", err)
+		}
+		var oe *query.OverloadedError
+		if !errors.As(err, &oe) {
+			t.Errorf("overload not typed: %v", err)
+		} else if oe.RetryAfter <= 0 {
+			t.Errorf("overload reply lost its retry-after hint: %+v", oe)
+		}
+		if f := r.flat(); f["gateway/shed_total"] != 1 {
+			t.Errorf("shed_total = %g, want 1", f["gateway/shed_total"])
+		}
+		done.Recv()
+		done.Recv()
+		if res, err := NewClient(r.st, "gw").FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}}); err != nil || res[0].Err != nil {
+			t.Errorf("post-storm fetch failed: %v %+v", err, res)
+		}
+	})
+}
+
+// TestBalancedClientRetriesOverloadedReplica: a shed reply sends the
+// batch to the next replica without evicting the overloaded one — the
+// gateway is alive, just full — so the user never sees the overload.
+func TestBalancedClientRetriesOverloadedReplica(t *testing.T) {
+	r := newRigCfg(t, rigCfg{gateways: 2, limit: 1, shed: 1})
+	r.seed(t)
+	r.run(t, func() {
+		r.digSeries(t, "slow")
+		hold := NewClient(r.st, "gw")
+		hold.Timeout = 60 * time.Second
+		done := r.st.Runtime().NewInbox("collect")
+		for i := 0; i < 2; i++ {
+			r.st.Runtime().Go(fmt.Sprintf("hold%d", i), func() {
+				hold.FetchMany([]proto.SeriesRequest{{Series: "slow", Count: 1}})
+				done.Send(proto.Message{})
+			})
+			r.pause(100 * time.Millisecond)
+		}
+		bc := NewBalancedClient(r.st, []string{"gw", "gw2"})
+		bc.SetTelemetry(r.tele)
+		res, err := bc.FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}})
+		if err != nil || res[0].Err != nil {
+			t.Errorf("balanced fetch should have failed over to gw2: %v %+v", err, res)
+		}
+		if h := bc.Hosts(); len(h) != 2 {
+			t.Errorf("overload must not evict: pool %v", h)
+		}
+		if f := r.flat(); f["gateway/client_failovers"] != 1 {
+			t.Errorf("client_failovers = %g, want 1", f["gateway/client_failovers"])
+		}
+		done.Recv()
+		done.Recv()
+	})
+}
+
+// TestBalancedClientEvictsDeadReplica: a replica that stops answering
+// is evicted from the pool after one timed-out call; the batch still
+// succeeds on the survivor and later calls skip the corpse entirely.
+func TestBalancedClientEvictsDeadReplica(t *testing.T) {
+	r := newRigCfg(t, rigCfg{gateways: 2})
+	r.seed(t)
+	r.run(t, func() {
+		bc := NewBalancedClient(r.st, []string{"gw", "gw2"})
+		bc.SetTelemetry(r.tele)
+		r.tr.SetDown("gw", true)
+		res, err := bc.FetchMany([]proto.SeriesRequest{{Series: "x", Count: 1}})
+		if err != nil || res[0].Err != nil {
+			t.Errorf("fetch should have failed over: %v %+v", err, res)
+		}
+		if h := bc.Hosts(); len(h) != 1 || h[0] != "gw2" {
+			t.Errorf("pool after eviction = %v, want [gw2]", h)
+		}
+		if f := r.flat(); f["gateway/client_failovers"] != 1 {
+			t.Errorf("client_failovers = %g, want 1", f["gateway/client_failovers"])
+		}
+		before := r.sim.Now()
+		if res, err := bc.FetchMany([]proto.SeriesRequest{{Series: "y", Count: 1}}); err != nil || res[0].Err != nil {
+			t.Errorf("post-eviction fetch: %v %+v", err, res)
+		}
+		if waited := r.sim.Now() - before; waited >= bc.Timeout {
+			t.Errorf("post-eviction fetch still paid the dead replica's timeout (%v)", waited)
+		}
+	})
+}
+
+// TestConnectDiscoversAllReplicas: Connect builds a balanced client
+// over every live gateway replica, probing stale directory entries out
+// of the pool — and the liveness probes ride outside admission control,
+// so discovery keeps working against a saturated gateway without
+// burning its admission tokens.
+func TestConnectDiscoversAllReplicas(t *testing.T) {
+	r := newRigCfg(t, rigCfg{gateways: 2, limit: 1, shed: 1})
+	r.seed(t)
+	r.run(t, func() {
+		// A stale entry that sorts first: points at the memory server m1,
+		// which rejects query-plane traffic.
+		if err := nameserver.NewClient(r.st, "ns").Register(proto.Registration{
+			Name: "gateway.a-stale", Kind: "gateway", Host: "m1",
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Saturate the first gateway: token held + the waiter line full.
+		r.digSeries(t, "slow")
+		hold := NewClient(r.st, "gw")
+		hold.Timeout = 60 * time.Second
+		done := r.st.Runtime().NewInbox("collect")
+		for i := 0; i < 2; i++ {
+			r.st.Runtime().Go(fmt.Sprintf("hold%d", i), func() {
+				hold.FetchMany([]proto.SeriesRequest{{Series: "slow", Count: 1}})
+				done.Send(proto.Message{})
+			})
+			r.pause(100 * time.Millisecond)
+		}
+		requestsBefore := r.flat()["gateway/requests"]
+		c, err := Connect(r.st, "ns")
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		if h := c.Hosts(); len(h) != 2 || h[0] != "gw" || h[1] != "gw2" {
+			t.Errorf("pool = %v, want [gw gw2]", h)
+		}
+		f := r.flat()
+		if f["gateway/probes"] < 2 {
+			t.Errorf("probes = %g, want >= 2 (one per live candidate)", f["gateway/probes"])
+		}
+		if f["gateway/requests"] != requestsBefore {
+			t.Errorf("probing burned admission: requests %g -> %g", requestsBefore, f["gateway/requests"])
+		}
+		if f["gateway/shed_total"] != 0 {
+			t.Errorf("probing tripped the shed line: shed_total = %g", f["gateway/shed_total"])
+		}
+		done.Recv()
+		done.Recv()
+	})
+}
+
+// TestClientForecastRehydratesDegraded: wire-level parity — a degraded
+// forecast answer carries its replica/lag watermark and the client
+// rehydrates query.DegradedError exactly as FetchMany does, keeping
+// the prediction usable.
+func TestClientForecastRehydratesDegraded(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func() {
+		st := proto.NewStation(r.st.Runtime(), r.holeEp)
+		r.st.Runtime().Go("scripted-gw", func() {
+			for {
+				req, ok := st.Recv()
+				if !ok {
+					return
+				}
+				st.Reply(req, proto.Message{
+					Type: proto.MsgQueryForecastReply, Version: proto.V3,
+					Forecasts: []proto.ForecastResult{{
+						Series: "cpu", Value: 2.5, MAE: 0.25, Method: "mean", Count: 8,
+						Error: "replica lagging", Code: proto.CodeDegraded, Replica: true, Lag: 7,
+					}},
+				})
+			}
+		})
+		res, err := NewClient(r.st, "hole").ForecastMany([]proto.SeriesRequest{{Series: "cpu"}})
+		if err != nil {
+			t.Errorf("forecast many: %v", err)
+			return
+		}
+		f := res[0]
+		if !errors.Is(f.Err, query.ErrDegraded) {
+			t.Errorf("want ErrDegraded, got %v", f.Err)
+		}
+		var de *query.DegradedError
+		if !errors.As(f.Err, &de) || de.Lag != 7 {
+			t.Errorf("lag watermark lost: %v", f.Err)
+		}
+		if f.Prediction.Value != 2.5 || f.Prediction.N != 8 || f.Prediction.Method != "mean" {
+			t.Errorf("degraded prediction mangled: %+v", f.Prediction)
 		}
 	})
 }

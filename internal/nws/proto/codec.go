@@ -142,6 +142,12 @@ func AppendEncode(buf []byte, m *Message) []byte {
 		b = appendVarint(b, int64(f.Count))
 		b = appendString(b, f.Error)
 		b = appendString(b, f.Code)
+		if f.Replica {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendVarint(b, f.Lag)
 	}
 	b = appendFloat(b, m.Value)
 	b = appendFloat(b, m.MAE)
@@ -151,6 +157,8 @@ func AppendEncode(buf []byte, m *Message) []byte {
 	b = appendVarint(b, m.TokenSeq)
 	b = appendVarint(b, m.Epoch)
 	b = appendVarint(b, m.Total)
+	b = appendString(b, m.Code)
+	b = appendVarint(b, int64(m.RetryAfter))
 	return b
 }
 
@@ -215,10 +223,12 @@ func EncodedSize(m *Message) int {
 	for i := range m.Forecasts {
 		f := &m.Forecasts[i]
 		n += sizeString(f.Series) + 24 + sizeString(f.Method) +
-			sizeVarint(int64(f.Count)) + sizeString(f.Error) + sizeString(f.Code)
+			sizeVarint(int64(f.Count)) + sizeString(f.Error) + sizeString(f.Code) +
+			1 + sizeVarint(f.Lag)
 	}
 	n += 24 + sizeString(m.Method) + sizeString(m.Clique) +
-		sizeVarint(m.TokenSeq) + sizeVarint(m.Epoch) + sizeVarint(m.Total)
+		sizeVarint(m.TokenSeq) + sizeVarint(m.Epoch) + sizeVarint(m.Total) +
+		sizeString(m.Code) + sizeVarint(int64(m.RetryAfter))
 	return n
 }
 
@@ -469,7 +479,7 @@ func Decode(data []byte, m *Message) error {
 			}
 		}
 	}
-	nF, err := d.count(28)
+	nF, err := d.count(30)
 	if err != nil {
 		return err
 	}
@@ -503,6 +513,12 @@ func Decode(data []byte, m *Message) error {
 			if f.Code, err = d.str(); err != nil {
 				return err
 			}
+			if f.Replica, err = d.boolByte(); err != nil {
+				return err
+			}
+			if f.Lag, err = d.varint(); err != nil {
+				return err
+			}
 		}
 	}
 	if m.Value, err = d.float(); err != nil {
@@ -529,6 +545,14 @@ func Decode(data []byte, m *Message) error {
 	if m.Total, err = d.varint(); err != nil {
 		return err
 	}
+	if m.Code, err = d.str(); err != nil {
+		return err
+	}
+	ra, err := d.varint()
+	if err != nil {
+		return err
+	}
+	m.RetryAfter = time.Duration(ra)
 	if d.pos != len(d.b) {
 		return fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailingBytes, d.pos, len(d.b))
 	}

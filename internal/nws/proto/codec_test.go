@@ -57,6 +57,14 @@ func codecShapes() []Message {
 		{Type: MsgReplRepair, Version: V3, From: "master", ID: 20,
 			Reg: Registration{Name: "memory.h1", Host: "h2", Replicas: []string{"h3"}}},
 		{Type: MsgReplAck, Version: V3, From: "m2", ID: 21, ReplyTo: 20, Count: 2, Total: 64},
+		{Type: MsgQueryForecastReply, Version: V3, From: "gw", ID: 22, ReplyTo: 11,
+			Forecasts: []ForecastResult{
+				{Series: "cpu.h1", Value: 2.5, MAE: 0.2, MSE: 0.04, Method: "mean", Count: 12,
+					Error: "degraded", Code: CodeDegraded, Replica: true, Lag: 5},
+				{Series: "cpu.h2", Value: 1.0, Method: "last", Count: 3},
+			}},
+		{Type: MsgQueryFetchReply, Version: V3, From: "gw", ID: 23, ReplyTo: 11,
+			Error: "gateway gw overloaded", Code: CodeOverloaded, RetryAfter: 500 * time.Millisecond},
 	}
 }
 

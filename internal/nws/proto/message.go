@@ -155,6 +155,12 @@ const (
 	// primary failed; samples are present but may trail the primary by
 	// the lag watermark carried alongside.
 	CodeDegraded = "degraded"
+	// CodeOverloaded: the answering server shed the whole request because
+	// its admission queue crossed the shed threshold. Carried on the
+	// message itself (Message.Code) rather than per series; RetryAfter
+	// holds the server's backoff hint. Clients should retry against
+	// another replica before surfacing the error.
+	CodeOverloaded = "overloaded"
 )
 
 // SeriesRequest names one series inside a batch query. Count bounds the
@@ -192,6 +198,13 @@ type ForecastResult struct {
 	Count  int    // history samples the prediction used
 	Error  string // non-empty when this series failed
 	Code   string // failure classification (Code* constants, or "")
+	// Replica marks a prediction computed from a history served by a
+	// replica rather than the series' primary; Lag is that replica's
+	// watermark at fetch time — the same degraded-staleness advisory
+	// SeriesResult carries on the fetch path, so forecast consumers can
+	// rehydrate query.DegradedError with its lag intact.
+	Replica bool
+	Lag     int64
 }
 
 // Message is the single flat wire message. Unused fields stay at their
@@ -237,6 +250,14 @@ type Message struct {
 	// from it, on ReplWindow it becomes the replica's applied count, and
 	// on a ReplRepair ack it reports samples backfilled.
 	Total int64
+
+	// Backpressure fields. Code classifies a whole-message error reply
+	// (the Code* constants — today only CodeOverloaded travels here;
+	// per-series failures keep their result-level codes), and RetryAfter
+	// is the shedding server's backoff hint. Clients use the pair to
+	// retry against another replica instead of sniffing Error text.
+	Code       string
+	RetryAfter time.Duration
 }
 
 // WireSize is the byte cost the simulated transport charges for a
@@ -249,7 +270,7 @@ func (m *Message) WireSize() int64 {
 		return int64(EncodedSize(m)) + frameHeaderSize
 	}
 	n := int64(128)
-	n += int64(len(m.From) + len(m.Error) + len(m.Kind) + len(m.Name) + len(m.Series) + len(m.Method) + len(m.Clique))
+	n += int64(len(m.From) + len(m.Error) + len(m.Kind) + len(m.Name) + len(m.Series) + len(m.Method) + len(m.Clique) + len(m.Code))
 	n += int64(len(m.Samples)) * 16
 	n += regEstimate(&m.Reg)
 	for i := range m.Regs {

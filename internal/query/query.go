@@ -41,6 +41,11 @@ var (
 	// applied every primary write. The samples accompanying the error are
 	// still usable; the error is a staleness advisory, not a failure.
 	ErrDegraded = errors.New("query: degraded")
+	// ErrOverloaded: the answering server shed the whole request because
+	// its admission queue crossed the shed threshold. Retry against
+	// another replica (balanced clients do so automatically) or back off
+	// by the hint carried on the concrete OverloadedError.
+	ErrOverloaded = errors.New("query: overloaded")
 )
 
 // DegradedError is the concrete ErrDegraded carrier: a successful
@@ -63,6 +68,25 @@ func (e *DegradedError) Error() string {
 }
 
 func (e *DegradedError) Unwrap() error { return ErrDegraded }
+
+// OverloadedError is the concrete ErrOverloaded carrier: a request shed
+// by an overloaded server, with that server's retry-after hint.
+// errors.As recovers it; errors.Is matches ErrOverloaded.
+type OverloadedError struct {
+	// RetryAfter is the shedding server's backoff hint (0: none given).
+	RetryAfter time.Duration
+	// Msg carries provenance (the shedding host, wire hops).
+	Msg string
+}
+
+func (e *OverloadedError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("query: overloaded: %s: retry after %v", e.Msg, e.RetryAfter)
+	}
+	return fmt.Sprintf("query: overloaded: retry after %v", e.RetryAfter)
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
 
 // Defaults for the client's tunables.
 const (
@@ -764,12 +788,21 @@ func (c *Client) ForecastMany(reqs []proto.SeriesRequest) []ForecastResult {
 				continue
 			}
 			f := reply.Forecasts[k]
-			if f.Error != "" {
+			if f.Error != "" && f.Code != proto.CodeDegraded {
 				results[i].Err = CodedError(f.Code, fmt.Sprintf("forecaster %s: %s", host, f.Error))
 				continue
 			}
 			results[i].Prediction = predict.Prediction{
 				Value: f.Value, MAE: f.MAE, MSE: f.MSE, Method: f.Method, N: f.Count,
+			}
+			if f.Code == proto.CodeDegraded {
+				// A prediction computed from a lagging replica's history:
+				// usable, but the staleness advisory rides along with its
+				// lag watermark intact — the same contract FetchMany keeps.
+				// Not cached: the next probe should see fresh degradation
+				// state, not a TTL'd echo of this one.
+				results[i].Err = &DegradedError{Lag: f.Lag, Msg: "forecaster " + host}
+				continue
 			}
 			if c.forecastTTL > 0 {
 				c.mu.Lock()
@@ -852,6 +885,8 @@ func CodedError(code, msg string) error {
 		return fmt.Errorf("%w: %s", ErrBackendDown, msg)
 	case proto.CodeDegraded:
 		return &DegradedError{Msg: msg}
+	case proto.CodeOverloaded:
+		return &OverloadedError{Msg: msg}
 	default:
 		return errors.New("query: " + msg)
 	}
@@ -868,6 +903,8 @@ func ErrCode(err error) string {
 		return proto.CodeBackendDown
 	case errors.Is(err, ErrDegraded):
 		return proto.CodeDegraded
+	case errors.Is(err, ErrOverloaded):
+		return proto.CodeOverloaded
 	default:
 		return ""
 	}

@@ -18,7 +18,7 @@ import (
 // deployGrid maps, plans and applies a per-site-domain synthetic grid
 // with k-replica memory replication, so the plan has non-master memory
 // primaries to kill.
-func deployGrid(t *testing.T, seed int64, sites, switches, perSwitch, k int) (*env, *telemetry.Registry) {
+func deployGrid(t *testing.T, seed int64, sites, switches, perSwitch, k int, extra ...core.Option) (*env, *telemetry.Registry) {
 	t.Helper()
 	tp, _ := topo.SyntheticGrid(topo.GridConfig{
 		Sites: sites, SwitchesPerSite: switches, HostsPerSwitch: perSwitch,
@@ -29,8 +29,10 @@ func deployGrid(t *testing.T, seed int64, sites, switches, perSwitch, k int) (*e
 	tr := proto.NewSimTransport(net)
 	plat := platform.NewSimPlatform(net, tr)
 	reg := telemetry.New(sim.Now)
-	pl := core.NewPipeline(plat, core.WithTokenGap(time.Second),
-		core.WithReplication(k), core.WithTelemetry(reg))
+	opts := []core.Option{core.WithTokenGap(time.Second),
+		core.WithReplication(k), core.WithTelemetry(reg)}
+	opts = append(opts, extra...)
+	pl := core.NewPipeline(plat, opts...)
 
 	var hosts []string
 	for _, h := range tp.HostIDs() {

@@ -2,6 +2,7 @@ package scenlab
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"nwsenv/internal/nws/proto"
 	"nwsenv/internal/nws/sensor"
 	"nwsenv/internal/platform"
+	"nwsenv/internal/query"
 	"nwsenv/internal/reconcile"
 	"nwsenv/internal/simnet"
 	"nwsenv/internal/telemetry"
@@ -103,6 +105,9 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 	if spec.Replication > 0 {
 		opts = append(opts, core.WithReplication(spec.Replication))
 	}
+	if spec.Gateways > 1 {
+		opts = append(opts, core.WithGateways(spec.Gateways))
+	}
 	pl := core.NewPipeline(plat, opts...)
 
 	// Deploy, driving virtual time in bounded steps (agents generate
@@ -178,7 +183,11 @@ func Run(spec *Spec, seed int64) (*Result, error) {
 			defer func() { probeDone = true }()
 			qc := dep.QueryClient(master.Station())
 			for _, r := range qc.ForecastMany(reqs) {
-				if r.Err == nil && r.Prediction.N > 0 {
+				// A degraded prediction (replica-served history after a
+				// primary death) is an answer: staleness advisory, not
+				// failure. Counting it keeps the replication gate honest —
+				// failover answers must not read as an answer deficit.
+				if (r.Err == nil || errors.Is(r.Err, query.ErrDegraded)) && r.Prediction.N > 0 {
 					answered++
 				}
 			}

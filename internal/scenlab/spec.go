@@ -45,6 +45,10 @@ type Spec struct {
 	// distinct switches (0 = off). The replication scenarios score
 	// k=0/1/2 on one file via the scenlab run -replicas override.
 	Replication int `json:"replication,omitempty"`
+	// Gateways is the query-gateway replica count N handed to the
+	// pipeline: the primary on the master plus N-1 extras on distinct
+	// switches (0 or 1 = the single master-hosted gateway).
+	Gateways int `json:"gateways,omitempty"`
 	// Phases split the run into warmup → inject → recovery.
 	Phases Phases `json:"phases"`
 	// ReconcileEverySec paces the reconcile control loop (default 120).
@@ -259,6 +263,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Replication < 0 {
 		return fmt.Errorf("scenlab: %s: replication must not be negative", s.Name)
+	}
+	if s.Gateways < 0 {
+		return fmt.Errorf("scenlab: %s: gateways must not be negative", s.Name)
 	}
 	for i, m := range s.SLO.Metrics {
 		if m.Metric == "" {
